@@ -1,0 +1,98 @@
+"""Bench the ablation sweeps over DESIGN.md's called-out design choices.
+
+* pool size m (paper fixes 20),
+* mutation count M (paper: 4 / 6),
+* the 5% support threshold,
+* Eq. 2 read as absolute vs squared error.
+
+Shape to reproduce: conclusions are stable across all four sweeps — the
+copy-mutate family keeps fitting and the null model keeps failing.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import (
+    run_ablation_m,
+    run_ablation_metric,
+    run_ablation_minsup,
+    run_ablation_mutations,
+)
+
+
+def test_ablation_m(benchmark, trio_context):
+    result = benchmark.pedantic(
+        run_ablation_m,
+        args=(trio_context,),
+        kwargs={"values": (5, 10, 20, 40), "region_codes": ("GRC", "KOR")},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    distances = [float(d) for d in result.column("mean_distance")]
+    assert all(d < 0.25 for d in distances)
+
+
+def test_ablation_mutations(benchmark, trio_context):
+    result = benchmark.pedantic(
+        run_ablation_mutations,
+        args=(trio_context,),
+        kwargs={
+            "values": (1, 2, 4, 6, 8),
+            "model_names": ("CM-R", "CM-C"),
+            "region_codes": ("GRC", "KOR"),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    assert len(result.rows) == 5
+
+
+def test_ablation_minsup(benchmark, world_context):
+    result = benchmark.pedantic(
+        run_ablation_minsup,
+        args=(world_context,),
+        kwargs={"values": (0.02, 0.05, 0.08, 0.12)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    distances = [float(row[1]) for row in result.rows]
+    # Cross-cuisine homogeneity holds at every threshold.
+    assert all(d < 0.15 for d in distances)
+
+
+def test_ablation_metric(benchmark, trio_context):
+    result = benchmark.pedantic(
+        run_ablation_metric,
+        args=(trio_context,),
+        kwargs={"region_codes": ("GRC", "KOR")},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    for row in result.rows:
+        assert row[1] != "NM"  # absolute reading
+        assert row[3] != "NM"  # squared reading
+
+
+def test_ablation_null_sampling(benchmark, trio_context):
+    from repro.experiments.ablations import run_ablation_null_sampling
+
+    result = benchmark.pedantic(
+        run_ablation_null_sampling,
+        args=(trio_context,),
+        kwargs={"region_codes": ("GRC", "KOR")},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    for row in result.rows:
+        _region, cm, nm_pool, nm_universe = row
+        assert float(nm_pool) > float(cm)
+        assert float(nm_universe) > float(cm)

@@ -1,0 +1,103 @@
+"""Micro-benchmarks for the hot components under the experiments.
+
+These are genuine performance benchmarks (multiple rounds) covering the
+pipeline stages whose cost dominates the table/figure regeneration:
+corpus synthesis, mention resolution, itemset mining and single model
+runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.itemsets import apriori, eclat, ingredient_transactions
+from repro.models.params import CuisineSpec
+from repro.models.registry import create_model
+from repro.synthesis.noise import MentionRenderer
+from repro.synthesis.worldgen import WorldKitchen
+
+
+@pytest.fixture(scope="module")
+def ita_transactions(world_context):
+    return ingredient_transactions(world_context.dataset.cuisine("ITA"))
+
+
+def test_corpus_generation(benchmark, lexicon):
+    kitchen = WorldKitchen(lexicon, seed=1)
+
+    def generate():
+        return kitchen.generate_cuisine("ITA", n_recipes=2000)
+
+    recipes = benchmark(generate)
+    assert len(recipes) == 2000
+
+
+def test_mention_resolution(benchmark, lexicon):
+    renderer = MentionRenderer(seed=2)
+    mentions = [
+        renderer.render(ingredient) for ingredient in list(lexicon)[:200]
+    ]
+
+    def resolve_all():
+        return [lexicon.resolve(mention) for mention in mentions]
+
+    resolutions = benchmark(resolve_all)
+    assert sum(1 for r in resolutions if r.ingredient is not None) > 190
+
+
+def test_eclat_mining(benchmark, ita_transactions):
+    result = benchmark(eclat, ita_transactions, 0.05)
+    assert len(result) > 10
+
+
+def test_apriori_mining(benchmark, ita_transactions):
+    result = benchmark(apriori, ita_transactions, 0.05)
+    assert len(result) > 10
+
+
+def test_fpgrowth_mining(benchmark, ita_transactions):
+    from repro.analysis.itemsets import fpgrowth
+
+    result = benchmark(fpgrowth, ita_transactions, 0.05)
+    assert len(result) > 10
+
+
+@pytest.mark.parametrize("model_name", ["CM-R", "CM-C", "CM-M", "NM"])
+def test_single_model_run(benchmark, world_context, model_name):
+    view = world_context.dataset.cuisine("GRC")
+    spec = CuisineSpec.from_view(view, world_context.lexicon)
+    model = create_model(model_name)
+
+    def run():
+        return model.run(spec, seed=3)
+
+    run_result = benchmark(run)
+    assert run_result.n_recipes == spec.n_recipes
+
+
+def test_nutrition_table_build(benchmark, lexicon):
+    from repro.nutrition import build_nutrition_table
+
+    table = benchmark(build_nutrition_table, lexicon, 5)
+    assert len(table) == len(lexicon)
+
+
+def test_recipe_generation(benchmark, world_context):
+    from repro.generation import GenerationConstraints, RecipeGenerator
+
+    view = world_context.dataset.cuisine("GRC")
+    spec = CuisineSpec.from_view(view, world_context.lexicon)
+    run = create_model("CM-C").run(spec, seed=9)
+    generator = RecipeGenerator(
+        run, world_context.lexicon, reference=view.as_id_sets()
+    )
+    constraints = GenerationConstraints(
+        include=("olive oil",), exclude_categories=("Meat",),
+        min_size=5, max_size=9,
+    )
+
+    def generate():
+        return generator.generate(constraints, seed=11)
+
+    recipe = benchmark(generate)
+    assert "olive oil" in recipe.names

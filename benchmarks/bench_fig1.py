@@ -1,0 +1,29 @@
+"""Bench ``fig1``: recipe size distributions.
+
+Paper reference (Fig. 1): per-cuisine recipe size distributions are
+Gaussian-like, bounded between 2 and 38, mean approx. 9, and homogeneous
+across cuisines (the inset pools all recipes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig1 import run_fig1
+
+
+def bench_run(context):
+    return run_fig1(context)
+
+
+def test_fig1(benchmark, world_context):
+    result = benchmark.pedantic(
+        bench_run, args=(world_context,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.all_in_paper_bounds()
+    assert 7.5 <= result.aggregate.mean <= 10.5
+    # Homogeneity: the spread of per-cuisine means stays tight.
+    means = [d.mean for d in result.per_cuisine.values()]
+    assert float(np.std(means)) < 1.0

@@ -1,0 +1,33 @@
+"""Bench ``fig2``: per-category usage boxplots across cuisines.
+
+Paper reference (Fig. 2): Vegetable, Additive, Spice, Dairy, Herb, Plant
+and Fruit are used more frequently than other categories; INSC/AFR are
+spice-heavy where JPN/ANZ/IRL are not; SCND/FRA/IRL are dairy-heavy where
+JPN/SEA/THA/KOR are not.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig2 import run_fig2
+from repro.lexicon.categories import Category
+
+
+def bench_run(context):
+    return run_fig2(context)
+
+
+def test_fig2(benchmark, world_context):
+    result = benchmark.pedantic(
+        bench_run, args=(world_context,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    spice_heavy, spice_light = result.spice_contrast()
+    dairy_heavy, dairy_light = result.dairy_contrast()
+    assert spice_heavy > spice_light
+    assert dairy_heavy > dairy_light
+    expected_dominant = {
+        Category.VEGETABLE, Category.ADDITIVE, Category.SPICE,
+        Category.DAIRY, Category.HERB, Category.PLANT, Category.FRUIT,
+    }
+    assert len(set(result.dominant) & expected_dominant) >= 5

@@ -1,0 +1,27 @@
+"""Bench ``table1``: regenerate Table I and print the paper's rows.
+
+Paper reference (Table I): per-cuisine recipe counts, unique-ingredient
+counts and top-5 overrepresented ingredients.  The *shape* to reproduce:
+the measured top-5 sets should largely coincide with the published ones
+(ITA led by olive/parmesan/basil/garlic/tomato, MEX by tortilla/cilantro/
+lime/cumin/tomato, ...).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_table1
+
+
+def bench_run(context):
+    return run_table1(context)
+
+
+def test_table1(benchmark, world_context):
+    result = benchmark.pedantic(
+        bench_run, args=(world_context,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # Shape assertions: strong overlap with the published Table I.
+    assert result.mean_top5_overlap() >= 3.5
+    assert len(result.rows) == 25

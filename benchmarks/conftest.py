@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate every paper table/figure at a reduced scale so the
+suite completes in minutes; set ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_RUNS``
+to raise fidelity (e.g. scale 1.0 and 100 runs reproduce the paper's full
+protocol at full cost).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import MiningConfig
+from repro.experiments.base import ExperimentContext
+from repro.lexicon.builder import standard_lexicon
+from repro.synthesis.worldgen import WorldKitchen
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.04"))
+BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "3"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20190408"))
+
+
+@pytest.fixture(scope="session")
+def lexicon():
+    return standard_lexicon()
+
+
+@pytest.fixture(scope="session")
+def world_context(lexicon) -> ExperimentContext:
+    """All 25 cuisines at bench scale."""
+    kitchen = WorldKitchen(lexicon, seed=BENCH_SEED)
+    dataset = kitchen.generate_dataset(scale=BENCH_SCALE)
+    return ExperimentContext(
+        lexicon=lexicon,
+        dataset=dataset,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+        mining=MiningConfig(min_support=0.05),
+        ensemble_runs=BENCH_RUNS,
+    )
+
+
+@pytest.fixture(scope="session")
+def trio_context(lexicon) -> ExperimentContext:
+    """Three representative cuisines (large/medium/small) at bench scale."""
+    kitchen = WorldKitchen(lexicon, seed=BENCH_SEED)
+    dataset = kitchen.generate_dataset(
+        region_codes=("ITA", "GRC", "KOR"), scale=max(BENCH_SCALE, 0.04)
+    )
+    return ExperimentContext(
+        lexicon=lexicon,
+        dataset=dataset,
+        scale=max(BENCH_SCALE, 0.04),
+        seed=BENCH_SEED,
+        mining=MiningConfig(min_support=0.05),
+        ensemble_runs=BENCH_RUNS,
+    )

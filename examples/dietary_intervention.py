@@ -1,0 +1,109 @@
+"""Nutrition-guided recipe evolution — the paper's closing motivation.
+
+The conclusion argues that "knowledge of the key determinants of culinary
+evolution can drive the creation of novel recipe generation algorithms
+aimed at dietary interventions for better nutrition and health."  This
+example takes that seriously: it replaces the paper's Uniform(0, 1)
+fitness with per-ingredient *health scores* from the nutrition substrate
+and lets the copy-mutate machinery steer a cuisine toward healthier
+ingredient use while keeping its statistical structure.
+
+Run:  python examples/dietary_intervention.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro import (
+    CuisineSpec,
+    WorldKitchen,
+    combination_curve,
+    curve_distance,
+    run_ensemble,
+    standard_lexicon,
+)
+from repro.models.copy_mutate import CopyMutateCategory
+from repro.nutrition import (
+    build_nutrition_table,
+    ingredient_health_scores,
+    nutrition_fitness,
+)
+from repro.viz.ascii import render_table
+
+SEED = 11
+REGION = "USA"
+
+
+def main() -> None:
+    lexicon = standard_lexicon()
+    table = build_nutrition_table(lexicon, seed=SEED)
+    scores = ingredient_health_scores(lexicon, table)
+    corpus = WorldKitchen(lexicon, seed=SEED).generate_dataset(
+        region_codes=(REGION,), scale=0.1
+    )
+    view = corpus.cuisine(REGION)
+    spec = CuisineSpec.from_view(view, lexicon)
+
+    # CM-C keeps substitutions within-category ("swap one dairy for a
+    # better dairy"), the gentlest realistic intervention.
+    model = CopyMutateCategory(
+        fitness=nutrition_fitness(lexicon, table, jitter=0.05)
+    )
+    ensemble = run_ensemble(model, spec, n_runs=6, seed=SEED)
+
+    def category_mass(transactions) -> Counter:
+        counts: Counter = Counter()
+        for transaction in transactions:
+            for ingredient_id in transaction:
+                counts[lexicon.category_of(ingredient_id)] += 1
+        total = sum(counts.values())
+        return Counter({c: v / total for c, v in counts.items()})
+
+    def mean_health(transactions) -> float:
+        values = [
+            scores[ingredient_id]
+            for transaction in transactions
+            for ingredient_id in transaction
+        ]
+        return float(np.mean(values))
+
+    empirical_transactions = [r.ingredient_ids for r in view]
+    evolved_transactions = [
+        t for run in ensemble.runs for t in run.transactions
+    ]
+    empirical_mass = category_mass(empirical_transactions)
+    evolved_mass = category_mass(evolved_transactions)
+
+    rows = []
+    for category in sorted(
+        empirical_mass, key=lambda c: -empirical_mass[c]
+    )[:10]:
+        rows.append(
+            (
+                category.value,
+                f"{empirical_mass[category]:.3f}",
+                f"{evolved_mass.get(category, 0.0):.3f}",
+            )
+        )
+    print(render_table(
+        ("Category", "Share before", "Share after intervention"),
+        rows,
+        title=f"Nutrition-guided evolution of {REGION}",
+    ))
+    print()
+    print(f"mean ingredient health before: {mean_health(empirical_transactions):.3f}")
+    print(f"mean ingredient health after:  {mean_health(evolved_transactions):.3f}")
+
+    # The structural fingerprint survives: the evolved pool still
+    # reproduces a heavy-tailed combination curve close to the empirical
+    # one (this is what makes it an *intervention*, not a replacement).
+    empirical_curve, _ = combination_curve(corpus, REGION, lexicon)
+    distance = curve_distance(empirical_curve, ensemble.ingredient_curve)
+    print(f"distance to empirical combination curve: {distance:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""The non-equilibrium nature of culinary evolution (Kinouchi et al. [7]).
+
+The copy-mutate lineage frames cuisines as *non-equilibrium* systems:
+the ingredient vocabulary never saturates but grows sub-linearly with
+the recipe count (a Heaps-type law).  This example measures that growth
+three ways and shows they agree:
+
+1. the empirical (generated) cuisine's vocabulary growth curve;
+2. an Algorithm 1 run's recorded (m, n) pool trajectory — the model's
+   ∂-vs-φ alternation *enforces* proportional growth;
+3. the vocabulary growth of the evolved recipe pool itself.
+
+Run:  python examples/non_equilibrium.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CuisineSpec, WorldKitchen, standard_lexicon
+from repro.analysis.vocabulary_growth import (
+    fit_heaps,
+    growth_from_sets,
+    vocabulary_growth_curve,
+)
+from repro.models.copy_mutate import CopyMutateRandom
+from repro.viz.ascii import render_curves, render_table
+
+SEED = 29
+REGION = "FRA"
+
+
+def main() -> None:
+    lexicon = standard_lexicon()
+    corpus = WorldKitchen(lexicon, seed=SEED).generate_dataset(
+        region_codes=(REGION,), scale=0.2
+    )
+    view = corpus.cuisine(REGION)
+    spec = CuisineSpec.from_view(view, lexicon)
+
+    empirical_growth = vocabulary_growth_curve(view)
+    empirical_fit = fit_heaps(empirical_growth)
+
+    run = CopyMutateRandom().run(spec, seed=SEED, record_history=True)
+    model_growth = growth_from_sets(run.transactions)
+    model_fit = fit_heaps(model_growth)
+
+    trajectory = run.pool_trajectory()
+    pool_sizes = np.array([m for m, _n in trajectory], dtype=float)
+    recipe_counts = np.array([n for _m, n in trajectory], dtype=float)
+
+    print(render_table(
+        ("Curve", "Heaps beta", "R^2"),
+        [
+            ("empirical cuisine vocabulary", f"{empirical_fit.beta:.3f}",
+             f"{empirical_fit.r_squared:.3f}"),
+            ("evolved pool vocabulary", f"{model_fit.beta:.3f}",
+             f"{model_fit.r_squared:.3f}"),
+        ],
+        title=f"Sub-linear vocabulary growth in {REGION} "
+              "(beta < 1 = non-equilibrium growth)",
+    ))
+
+    print()
+    print(
+        f"Algorithm 1 pool ratio m/n: starts at "
+        f"{pool_sizes[0] / max(recipe_counts[0], 1):.3f}, "
+        f"ends at {pool_sizes[-1] / recipe_counts[-1]:.3f} "
+        f"(cuisine phi = {spec.phi:.3f}) — the ∂-vs-φ rule locks the "
+        "ingredient pool onto proportional growth."
+    )
+
+    # Downsample curves for the ASCII plot.
+    step = max(1, len(empirical_growth) // 300)
+    print()
+    print(render_curves(
+        {
+            "empirical V(n)": list(
+                empirical_growth[::step].astype(float)
+                / empirical_growth[-1]
+            ),
+            "model V(n)": list(
+                model_growth[::step].astype(float) / model_growth[-1]
+            ),
+        },
+        title="vocabulary growth, normalized (log-log; straight line = power law)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Novel recipe generation under dietary constraints.
+
+Combines three layers the paper motivates but does not build: the
+nutrition substrate scores ingredients, nutrition-driven fitness steers
+a copy-mutate run, and the RecipeGenerator turns the evolved pool into
+*novel* recipes under user constraints (pescatarian, no additives, must
+feature chickpea...).
+
+Run:  python examples/recipe_generation.py
+"""
+
+from __future__ import annotations
+
+from repro import CuisineSpec, WorldKitchen, standard_lexicon
+from repro.generation import GenerationConstraints, RecipeGenerator
+from repro.models.copy_mutate import CopyMutateCategory
+from repro.nutrition import build_nutrition_table, health_score, nutrition_fitness
+from repro.viz.ascii import render_table
+
+SEED = 37
+REGION = "ME"  # Middle East: legume-forward base cuisine
+
+
+def main() -> None:
+    lexicon = standard_lexicon()
+    table = build_nutrition_table(lexicon, seed=SEED)
+    corpus = WorldKitchen(lexicon, seed=SEED).generate_dataset(
+        region_codes=(REGION,), scale=0.15
+    )
+    view = corpus.cuisine(REGION)
+
+    # Evolve the cuisine with nutrition-driven fitness (CM-C keeps
+    # substitutions within-category, the gentlest intervention).
+    model = CopyMutateCategory(fitness=nutrition_fitness(lexicon, table))
+    run = model.run(CuisineSpec.from_view(view, lexicon), seed=SEED)
+
+    generator = RecipeGenerator(
+        run, lexicon, reference=view.as_id_sets()
+    )
+
+    briefs = [
+        ("weeknight, no constraints", GenerationConstraints()),
+        (
+            "pescatarian bowl",
+            GenerationConstraints(
+                exclude_categories=("Meat",),
+                include=("chickpea",),
+                min_size=5,
+                max_size=9,
+            ),
+        ),
+        (
+            "alcohol-free mezze",
+            GenerationConstraints(
+                exclude_categories=("Beverage Alcoholic", "Bakery"),
+                include=("tahini", "mint"),
+                max_size=8,
+            ),
+        ),
+    ]
+
+    rows = []
+    for label, constraints in briefs:
+        recipe = generator.generate(constraints, seed=SEED)
+        score = health_score(table.recipe_profile(recipe.ingredient_ids))
+        rows.append(
+            (label, ", ".join(recipe.names), f"{score:.2f}", recipe.edits)
+        )
+    print(render_table(
+        ("Brief", "Generated recipe", "Health", "Edits"),
+        rows,
+        title=f"Novel {REGION} recipes from a nutrition-steered "
+              "copy-mutate pool (all unseen in the corpus)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

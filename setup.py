@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build; this shim lets
+``python setup.py develop`` provide the same editable install through
+setuptools' legacy path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

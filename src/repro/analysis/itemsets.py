@@ -1,0 +1,527 @@
+"""Frequent-combination mining (Sec. IV).
+
+The paper considers all ingredient combinations ("of size 1 and greater")
+that appear in at least 5% of a cuisine's recipes — i.e. frequent
+itemsets at relative support 0.05.  Three miners are provided:
+
+* ``eclat`` — vertical tidset intersection, depth-first.  The default;
+  fast for the paper's support threshold.
+* ``apriori`` — classic level-wise candidate generation over horizontal
+  data.  Independent implementation used to cross-check Eclat.
+* ``fpgrowth`` — FP-tree projection mining; fastest on dense data with
+  long frequent itemsets.
+* ``bruteforce`` — exact subset enumeration; exponential, only for small
+  inputs and property tests.
+
+All miners return identical results (a property the test-suite enforces).
+Items are integers (lexicon ingredient ids, or category indexes via
+:func:`category_transactions`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Iterable
+
+from repro.corpus.dataset import CuisineView
+from repro.errors import MiningError
+from repro.lexicon.categories import Category
+from repro.lexicon.lexicon import Lexicon
+
+__all__ = [
+    "FrequentItemset",
+    "MiningResult",
+    "mine_frequent_itemsets",
+    "eclat",
+    "apriori",
+    "fpgrowth",
+    "bruteforce",
+    "category_transactions",
+    "ingredient_transactions",
+    "CATEGORY_INDEX",
+]
+
+#: Stable category <-> index mapping for category-level mining.
+CATEGORY_INDEX: dict[Category, int] = {
+    category: index for index, category in enumerate(Category)
+}
+_INDEX_CATEGORY: dict[int, Category] = {
+    index: category for category, index in CATEGORY_INDEX.items()
+}
+
+#: Safety valve: a mining call producing more itemsets than this is almost
+#: certainly misconfigured (e.g. minuscule support on dense data).
+MAX_ITEMSETS = 2_000_000
+
+
+@dataclass(frozen=True)
+class FrequentItemset:
+    """One frequent combination.
+
+    Attributes:
+        items: Sorted item tuple.
+        support: Absolute support (number of transactions containing it).
+    """
+
+    items: tuple[int, ...]
+    support: int
+
+    @property
+    def size(self) -> int:
+        return len(self.items)
+
+    def relative_support(self, n_transactions: int) -> float:
+        """Support normalized by the transaction count."""
+        if n_transactions <= 0:
+            return 0.0
+        return self.support / n_transactions
+
+
+@dataclass(frozen=True)
+class MiningResult:
+    """Output of a mining run.
+
+    Attributes:
+        itemsets: Frequent itemsets sorted by (-support, size, items) —
+            the rank order used by the Fig. 3/4 rank-frequency curves.
+        n_transactions: Transactions mined.
+        min_support: Relative support threshold used.
+        algorithm: Miner name.
+    """
+
+    itemsets: tuple[FrequentItemset, ...]
+    n_transactions: int
+    min_support: float
+    algorithm: str
+
+    def __len__(self) -> int:
+        return len(self.itemsets)
+
+    def frequencies(self) -> list[float]:
+        """Relative supports in rank order (Fig. 3/4 y-values)."""
+        if self.n_transactions == 0:
+            return []
+        return [
+            itemset.support / self.n_transactions for itemset in self.itemsets
+        ]
+
+    def of_size(self, size: int) -> tuple[FrequentItemset, ...]:
+        """Frequent itemsets of exactly ``size`` items."""
+        return tuple(i for i in self.itemsets if i.size == size)
+
+
+def _min_count(min_support: float, n_transactions: int) -> int:
+    if not 0.0 < min_support <= 1.0:
+        raise MiningError(f"min_support must be in (0, 1], got {min_support}")
+    return max(1, math.ceil(min_support * n_transactions))
+
+
+def _normalize_transactions(
+    transactions: Iterable[Iterable[int]],
+) -> list[frozenset[int]]:
+    return [frozenset(t) for t in transactions]
+
+
+def _sorted_result(
+    found: dict[tuple[int, ...], int],
+    n_transactions: int,
+    min_support: float,
+    algorithm: str,
+) -> MiningResult:
+    if len(found) > MAX_ITEMSETS:
+        raise MiningError(
+            f"mining produced {len(found)} itemsets (> {MAX_ITEMSETS}); "
+            "raise min_support or cap max_size"
+        )
+    itemsets = tuple(
+        FrequentItemset(items=items, support=support)
+        for items, support in sorted(
+            found.items(), key=lambda kv: (-kv[1], len(kv[0]), kv[0])
+        )
+    )
+    return MiningResult(
+        itemsets=itemsets,
+        n_transactions=n_transactions,
+        min_support=min_support,
+        algorithm=algorithm,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Eclat
+# ---------------------------------------------------------------------------
+
+
+def eclat(
+    transactions: Iterable[Iterable[int]],
+    min_support: float,
+    max_size: int | None = None,
+) -> MiningResult:
+    """Depth-first vertical mining with tidset intersections."""
+    data = _normalize_transactions(transactions)
+    n = len(data)
+    if n == 0:
+        return MiningResult((), 0, min_support, "eclat")
+    min_count = _min_count(min_support, n)
+
+    tidsets: dict[int, set[int]] = {}
+    for tid, transaction in enumerate(data):
+        for item in transaction:
+            tidsets.setdefault(item, set()).add(tid)
+
+    frequent_items = sorted(
+        item for item, tids in tidsets.items() if len(tids) >= min_count
+    )
+    found: dict[tuple[int, ...], int] = {}
+
+    def extend(
+        prefix: tuple[int, ...],
+        candidates: list[tuple[int, set[int]]],
+    ) -> None:
+        for index, (item, tids) in enumerate(candidates):
+            items = prefix + (item,)
+            found[items] = len(tids)
+            if len(found) > MAX_ITEMSETS:
+                raise MiningError(
+                    f"mining exceeded {MAX_ITEMSETS} itemsets; raise "
+                    "min_support or cap max_size"
+                )
+            if max_size is not None and len(items) >= max_size:
+                continue
+            next_candidates = []
+            for other, other_tids in candidates[index + 1:]:
+                intersection = tids & other_tids
+                if len(intersection) >= min_count:
+                    next_candidates.append((other, intersection))
+            if next_candidates:
+                extend(items, next_candidates)
+
+    extend((), [(item, tidsets[item]) for item in frequent_items])
+    return _sorted_result(found, n, min_support, "eclat")
+
+
+# ---------------------------------------------------------------------------
+# Apriori
+# ---------------------------------------------------------------------------
+
+
+def apriori(
+    transactions: Iterable[Iterable[int]],
+    min_support: float,
+    max_size: int | None = None,
+) -> MiningResult:
+    """Level-wise mining with candidate generation and pruning."""
+    data = _normalize_transactions(transactions)
+    n = len(data)
+    if n == 0:
+        return MiningResult((), 0, min_support, "apriori")
+    min_count = _min_count(min_support, n)
+
+    counts: dict[tuple[int, ...], int] = {}
+    for transaction in data:
+        for item in transaction:
+            key = (item,)
+            counts[key] = counts.get(key, 0) + 1
+    current = {items for items, c in counts.items() if c >= min_count}
+    found = {items: counts[items] for items in current}
+
+    size = 1
+    while current and (max_size is None or size < max_size):
+        size += 1
+        # Join step: merge itemsets sharing the first size-2 items.
+        sorted_current = sorted(current)
+        candidates: set[tuple[int, ...]] = set()
+        for i, a in enumerate(sorted_current):
+            for b in sorted_current[i + 1:]:
+                if a[:-1] != b[:-1]:
+                    break
+                candidate = a + (b[-1],)
+                # Prune: all (size-1)-subsets must be frequent.
+                if all(
+                    candidate[:j] + candidate[j + 1:] in current
+                    for j in range(len(candidate))
+                ):
+                    candidates.add(candidate)
+        if not candidates:
+            break
+        level_counts = {candidate: 0 for candidate in candidates}
+        candidate_list = sorted(candidates)
+        for transaction in data:
+            if len(transaction) < size:
+                continue
+            for candidate in candidate_list:
+                if all(item in transaction for item in candidate):
+                    level_counts[candidate] += 1
+        current = {
+            candidate
+            for candidate, count in level_counts.items()
+            if count >= min_count
+        }
+        for candidate in current:
+            found[candidate] = level_counts[candidate]
+        if len(found) > MAX_ITEMSETS:
+            raise MiningError(
+                f"mining exceeded {MAX_ITEMSETS} itemsets; raise "
+                "min_support or cap max_size"
+            )
+    return _sorted_result(found, n, min_support, "apriori")
+
+
+# ---------------------------------------------------------------------------
+# FP-Growth
+# ---------------------------------------------------------------------------
+
+
+class _FPNode:
+    """One node of an FP-tree: an item with a count and children."""
+
+    __slots__ = ("item", "count", "parent", "children", "link")
+
+    def __init__(self, item: int | None, parent: "_FPNode | None"):
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict[int, _FPNode] = {}
+        self.link: _FPNode | None = None  # next node holding the same item
+
+
+def _build_fp_tree(
+    itemlists: list[list[int]],
+    counts: list[int],
+) -> tuple[_FPNode, dict[int, "_FPNode"]]:
+    """Build an FP-tree from (ordered item list, count) pairs."""
+    root = _FPNode(None, None)
+    headers: dict[int, _FPNode] = {}
+    tails: dict[int, _FPNode] = {}
+    for items, count in zip(itemlists, counts):
+        node = root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _FPNode(item, node)
+                node.children[item] = child
+                if item in tails:
+                    tails[item].link = child
+                else:
+                    headers[item] = child
+                tails[item] = child
+            child.count += count
+            node = child
+    return root, headers
+
+
+def _fp_mine(
+    headers: dict[int, _FPNode],
+    item_order: dict[int, int],
+    min_count: int,
+    suffix: tuple[int, ...],
+    found: dict[tuple[int, ...], int],
+) -> None:
+    """Recursively mine an FP-tree through conditional projections."""
+    # Process items from least to most frequent (reverse of tree order).
+    for item in sorted(headers, key=lambda i: item_order[i], reverse=True):
+        support = 0
+        node = headers[item]
+        while node is not None:
+            support += node.count
+            node = node.link
+        if support < min_count:
+            continue
+        itemset = tuple(sorted(suffix + (item,)))
+        found[itemset] = support
+        if len(found) > MAX_ITEMSETS:
+            raise MiningError(
+                f"mining exceeded {MAX_ITEMSETS} itemsets; raise "
+                "min_support or cap max_size"
+            )
+        # Conditional pattern base: prefix paths of every node of `item`.
+        conditional_lists: list[list[int]] = []
+        conditional_counts: list[int] = []
+        node = headers[item]
+        while node is not None:
+            path: list[int] = []
+            ancestor = node.parent
+            while ancestor is not None and ancestor.item is not None:
+                path.append(ancestor.item)
+                ancestor = ancestor.parent
+            if path:
+                path.reverse()
+                conditional_lists.append(path)
+                conditional_counts.append(node.count)
+            node = node.link
+        if not conditional_lists:
+            continue
+        # Keep only items frequent within the conditional base.
+        base_counts: dict[int, int] = {}
+        for path, count in zip(conditional_lists, conditional_counts):
+            for path_item in path:
+                base_counts[path_item] = base_counts.get(path_item, 0) + count
+        keep = {i for i, c in base_counts.items() if c >= min_count}
+        if not keep:
+            continue
+        filtered = [
+            [i for i in path if i in keep] for path in conditional_lists
+        ]
+        pairs = [
+            (path, count)
+            for path, count in zip(filtered, conditional_counts)
+            if path
+        ]
+        if not pairs:
+            continue
+        _root, sub_headers = _build_fp_tree(
+            [path for path, _count in pairs],
+            [count for _path, count in pairs],
+        )
+        _fp_mine(sub_headers, item_order, min_count, itemset, found)
+
+
+def fpgrowth(
+    transactions: Iterable[Iterable[int]],
+    min_support: float,
+    max_size: int | None = None,
+) -> MiningResult:
+    """FP-Growth mining via recursive conditional FP-trees.
+
+    ``max_size`` is applied as a post-filter (the tree mines all sizes);
+    the paper's analyses mine unbounded sizes anyway.
+    """
+    data = _normalize_transactions(transactions)
+    n = len(data)
+    if n == 0:
+        return MiningResult((), 0, min_support, "fpgrowth")
+    min_count = _min_count(min_support, n)
+
+    item_counts: dict[int, int] = {}
+    for transaction in data:
+        for item in transaction:
+            item_counts[item] = item_counts.get(item, 0) + 1
+    frequent = {i for i, c in item_counts.items() if c >= min_count}
+    # Global order: most frequent first; ties by item id for determinism.
+    ordered = sorted(frequent, key=lambda i: (-item_counts[i], i))
+    item_order = {item: rank for rank, item in enumerate(ordered)}
+
+    itemlists = []
+    for transaction in data:
+        kept = sorted(
+            (i for i in transaction if i in frequent),
+            key=lambda i: item_order[i],
+        )
+        if kept:
+            itemlists.append(kept)
+    _root, headers = _build_fp_tree(itemlists, [1] * len(itemlists))
+
+    found: dict[tuple[int, ...], int] = {}
+    _fp_mine(headers, item_order, min_count, (), found)
+    if max_size is not None:
+        found = {
+            items: support
+            for items, support in found.items()
+            if len(items) <= max_size
+        }
+    return _sorted_result(found, n, min_support, "fpgrowth")
+
+
+# ---------------------------------------------------------------------------
+# Brute force
+# ---------------------------------------------------------------------------
+
+
+def bruteforce(
+    transactions: Iterable[Iterable[int]],
+    min_support: float,
+    max_size: int | None = None,
+) -> MiningResult:
+    """Exact enumeration of every subset of every transaction.
+
+    Exponential in transaction size — reference implementation for tests.
+    """
+    data = _normalize_transactions(transactions)
+    n = len(data)
+    if n == 0:
+        return MiningResult((), 0, min_support, "bruteforce")
+    min_count = _min_count(min_support, n)
+
+    counts: dict[tuple[int, ...], int] = {}
+    for transaction in data:
+        items = sorted(transaction)
+        limit = len(items) if max_size is None else min(max_size, len(items))
+        for size in range(1, limit + 1):
+            for subset in combinations(items, size):
+                counts[subset] = counts.get(subset, 0) + 1
+        if len(counts) > MAX_ITEMSETS:
+            raise MiningError(
+                f"bruteforce exceeded {MAX_ITEMSETS} counted subsets"
+            )
+    found = {items: c for items, c in counts.items() if c >= min_count}
+    return _sorted_result(found, n, min_support, "bruteforce")
+
+
+_ALGORITHMS: dict[str, Callable[..., MiningResult]] = {
+    "eclat": eclat,
+    "apriori": apriori,
+    "fpgrowth": fpgrowth,
+    "bruteforce": bruteforce,
+}
+
+
+def mine_frequent_itemsets(
+    transactions: Iterable[Iterable[int]],
+    min_support: float,
+    algorithm: str = "eclat",
+    max_size: int | None = None,
+) -> MiningResult:
+    """Mine frequent combinations with the selected algorithm.
+
+    Args:
+        transactions: Item collections (ingredient ids or category
+            indexes).
+        min_support: Relative support threshold — the paper uses 0.05.
+        algorithm: ``"eclat"`` (default), ``"apriori"`` or
+            ``"bruteforce"``.
+        max_size: Optional cap on itemset size.
+
+    Returns:
+        A :class:`MiningResult` with itemsets in rank order.
+    """
+    miner = _ALGORITHMS.get(algorithm)
+    if miner is None:
+        raise MiningError(
+            f"unknown mining algorithm {algorithm!r}; "
+            f"available: {sorted(_ALGORITHMS)}"
+        )
+    return miner(transactions, min_support, max_size=max_size)
+
+
+# ---------------------------------------------------------------------------
+# Transaction builders
+# ---------------------------------------------------------------------------
+
+
+def ingredient_transactions(view: CuisineView) -> list[frozenset[int]]:
+    """Recipes of a cuisine as ingredient-id transactions."""
+    return view.as_id_sets()
+
+
+def category_transactions(
+    view: CuisineView, lexicon: Lexicon
+) -> list[frozenset[int]]:
+    """Recipes as category-index transactions (Sec. IV category level)."""
+    id_to_category = lexicon.id_to_category_array()
+    return [
+        frozenset(
+            CATEGORY_INDEX[id_to_category[ingredient_id]]
+            for ingredient_id in recipe.ingredient_ids
+        )
+        for recipe in view
+    ]
+
+
+def category_from_index(index: int) -> Category:
+    """Inverse of :data:`CATEGORY_INDEX`."""
+    try:
+        return _INDEX_CATEGORY[index]
+    except KeyError:
+        raise MiningError(f"invalid category index {index}") from None

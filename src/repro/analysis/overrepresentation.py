@@ -1,0 +1,109 @@
+"""Ingredient Overrepresentation (Eq. 1, Sec. III).
+
+For ingredient *i* and cuisine ς:
+
+    O_i^ς = n_i^ς / N^ς − (Σ_c n_i^c) / (Σ_c N^c)
+
+where ``n_i^ς`` is the number of recipes of cuisine ς containing *i* and
+``N^ς`` is the cuisine's recipe count; the second term is the same
+fraction across all cuisines.  Positive values mean the cuisine uses the
+ingredient in a larger share of its recipes than the world does — Table I
+reports each cuisine's top five.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.dataset import RecipeDataset
+from repro.errors import EmptyCorpusError
+from repro.lexicon.lexicon import Lexicon
+
+__all__ = [
+    "OverrepresentationEntry",
+    "overrepresentation_scores",
+    "top_overrepresented",
+    "overrepresentation_table",
+]
+
+
+@dataclass(frozen=True)
+class OverrepresentationEntry:
+    """One (cuisine, ingredient) overrepresentation record.
+
+    Attributes:
+        region_code: Cuisine.
+        ingredient_id: Lexicon id.
+        name: Canonical ingredient name.
+        local_fraction: n_i^ς / N^ς.
+        global_fraction: Σ_c n_i^c / Σ_c N^c.
+        score: ``local_fraction - global_fraction`` (Eq. 1).
+    """
+
+    region_code: str
+    ingredient_id: int
+    name: str
+    local_fraction: float
+    global_fraction: float
+    score: float
+
+
+def overrepresentation_scores(
+    dataset: RecipeDataset,
+    region_code: str,
+    lexicon: Lexicon,
+) -> list[OverrepresentationEntry]:
+    """Eq. 1 scores for every ingredient used by a cuisine.
+
+    Returns entries sorted by descending score (ties broken by name for
+    determinism).
+
+    Raises:
+        EmptyCorpusError: If the cuisine or the corpus is empty.
+    """
+    view = dataset.cuisine(region_code)
+    if not view:
+        raise EmptyCorpusError(f"cuisine {region_code!r} has no recipes")
+    total_recipes = len(dataset)
+    if total_recipes == 0:
+        raise EmptyCorpusError("dataset has no recipes")
+
+    local_counts = view.ingredient_recipe_counts()
+    global_counts = dataset.global_ingredient_recipe_counts()
+    n_local = view.n_recipes
+
+    entries = [
+        OverrepresentationEntry(
+            region_code=view.region_code,
+            ingredient_id=ingredient_id,
+            name=lexicon.by_id(ingredient_id).name,
+            local_fraction=count / n_local,
+            global_fraction=global_counts[ingredient_id] / total_recipes,
+            score=count / n_local - global_counts[ingredient_id] / total_recipes,
+        )
+        for ingredient_id, count in local_counts.items()
+    ]
+    entries.sort(key=lambda entry: (-entry.score, entry.name))
+    return entries
+
+
+def top_overrepresented(
+    dataset: RecipeDataset,
+    region_code: str,
+    lexicon: Lexicon,
+    k: int = 5,
+) -> list[OverrepresentationEntry]:
+    """The cuisine's ``k`` most overrepresented ingredients (Table I)."""
+    return overrepresentation_scores(dataset, region_code, lexicon)[:k]
+
+
+def overrepresentation_table(
+    dataset: RecipeDataset,
+    lexicon: Lexicon,
+    k: int = 5,
+) -> dict[str, list[OverrepresentationEntry]]:
+    """Top-k overrepresented ingredients for every cuisine present."""
+    return {
+        code: top_overrepresented(dataset, code, lexicon, k=k)
+        for code in dataset.region_codes()
+    }

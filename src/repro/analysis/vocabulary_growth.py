@@ -1,0 +1,82 @@
+"""Vocabulary growth (Heaps-law) analysis.
+
+Complex-systems studies of cuisine (Kinouchi et al. [7], the paper's
+Sec. V basis) characterize culinary evolution as *non-equilibrium*: the
+ingredient vocabulary keeps growing as recipes accumulate, following a
+sub-linear Heaps-type law ``V(n) ≈ K · n^beta`` with ``beta < 1``.  This
+module measures that curve for empirical cuisines and for model runs —
+Algorithm 1's ∂-vs-φ pool growth produces exactly such a trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.corpus.dataset import CuisineView
+from repro.errors import AnalysisError
+
+__all__ = ["HeapsFit", "vocabulary_growth_curve", "fit_heaps", "growth_from_sets"]
+
+
+@dataclass(frozen=True)
+class HeapsFit:
+    """Heaps-law fit ``V(n) = K * n^beta``.
+
+    Attributes:
+        k: Prefactor.
+        beta: Growth exponent (sub-linear growth when < 1).
+        r_squared: Goodness of fit in log-log space.
+    """
+
+    k: float
+    beta: float
+    r_squared: float
+
+
+def growth_from_sets(recipe_sets: Iterable[frozenset[int]]) -> np.ndarray:
+    """Distinct-ingredient count after each recipe, in given order.
+
+    Args:
+        recipe_sets: Recipes as ingredient-id sets, in arrival order.
+
+    Returns:
+        ``(n_recipes,)`` int64 array: ``result[i]`` is the vocabulary
+        size after the first ``i + 1`` recipes.
+    """
+    seen: set[int] = set()
+    growth = []
+    for recipe in recipe_sets:
+        seen.update(recipe)
+        growth.append(len(seen))
+    return np.asarray(growth, dtype=np.int64)
+
+
+def vocabulary_growth_curve(view: CuisineView) -> np.ndarray:
+    """Vocabulary growth for an empirical cuisine in stored order."""
+    if not view:
+        raise AnalysisError(f"cuisine {view.region_code!r} has no recipes")
+    return growth_from_sets(
+        frozenset(recipe.ingredient_ids) for recipe in view
+    )
+
+
+def fit_heaps(growth: Sequence[int] | np.ndarray) -> HeapsFit:
+    """Least-squares fit of ``V(n) = K n^beta`` in log-log space.
+
+    Raises:
+        AnalysisError: On fewer than three points.
+    """
+    values = np.asarray(growth, dtype=float)
+    if values.size < 3:
+        raise AnalysisError("need at least three growth points to fit")
+    n = np.arange(1, values.size + 1, dtype=float)
+    fit = scipy_stats.linregress(np.log(n), np.log(values))
+    return HeapsFit(
+        k=float(np.exp(fit.intercept)),
+        beta=float(fit.slope),
+        r_squared=float(fit.rvalue**2),
+    )

@@ -1,0 +1,239 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro generate    — write a calibrated synthetic corpus to JSONL
+    repro stats       — print corpus statistics (Sec. II numbers)
+    repro experiment  — run a paper experiment and print its report
+    repro evolve      — run one evolution model on one cuisine
+    repro resolve     — resolve raw ingredient mentions via the lexicon
+
+Every stochastic command accepts ``--seed`` for exact reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.invariants import combination_curve
+from repro.analysis.mae import curve_distance
+from repro.config import MiningConfig
+from repro.corpus.io import load_jsonl, save_jsonl
+from repro.corpus.stats import corpus_stats
+from repro.experiments.base import ExperimentContext
+from repro.experiments.registry import available_experiments, run_experiment
+from repro.lexicon.builder import standard_lexicon
+from repro.models.ensemble import run_ensemble
+from repro.models.params import CuisineSpec
+from repro.models.registry import available_models, create_model
+from repro.rng import DEFAULT_SEED
+from repro.synthesis.worldgen import WorldKitchen
+from repro.viz.ascii import render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Computational Models for the Evolution of "
+            "World Cuisines' (ICDE 2019)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic corpus")
+    generate.add_argument("output", type=Path, help="output JSONL path")
+    generate.add_argument("--scale", type=float, default=0.1)
+    generate.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    generate.add_argument(
+        "--regions", nargs="*", default=None, help="region codes (default all)"
+    )
+
+    stats = sub.add_parser("stats", help="print corpus statistics")
+    stats.add_argument("dataset", type=Path, help="JSONL corpus path")
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument(
+        "id", choices=list(available_experiments()), help="experiment id"
+    )
+    experiment.add_argument("--scale", type=float, default=0.08)
+    experiment.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    experiment.add_argument("--runs", type=int, default=8,
+                            help="model runs per ensemble")
+    experiment.add_argument("--min-support", type=float, default=0.05)
+    experiment.add_argument("--regions", nargs="*", default=None)
+    experiment.add_argument("--artifacts", type=Path, default=None,
+                            help="directory for CSV/JSON artifacts")
+
+    evolve = sub.add_parser("evolve", help="run one evolution model")
+    evolve.add_argument("model", choices=list(available_models()))
+    evolve.add_argument("region", help="region code, e.g. ITA")
+    evolve.add_argument("--scale", type=float, default=0.08)
+    evolve.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    evolve.add_argument("--runs", type=int, default=8)
+
+    resolve = sub.add_parser(
+        "resolve", help="resolve raw ingredient mentions against the lexicon"
+    )
+    resolve.add_argument("mentions", nargs="+", help="raw mention strings")
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report.add_argument("output", type=Path, help="markdown output path")
+    report.add_argument("--scale", type=float, default=0.05)
+    report.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    report.add_argument("--runs", type=int, default=5)
+    report.add_argument("--regions", nargs="*", default=None)
+    report.add_argument("--no-ablations", action="store_true")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    lexicon = standard_lexicon()
+    kitchen = WorldKitchen(lexicon, seed=args.seed)
+    regions = tuple(args.regions) if args.regions else None
+    dataset = kitchen.generate_dataset(region_codes=regions, scale=args.scale)
+    count = save_jsonl(dataset, args.output)
+    print(f"wrote {count} recipes to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    dataset = load_jsonl(args.dataset)
+    stats = corpus_stats(dataset)
+    rows = [
+        (s.region_code, s.n_recipes, s.n_ingredients,
+         f"{s.avg_recipe_size:.2f}", f"{s.phi:.4f}")
+        for s in stats.per_cuisine
+    ]
+    print(render_table(
+        ("Region", "Recipes", "Ingredients", "AvgSize", "phi"),
+        rows,
+        title=(
+            f"{stats.n_recipes} recipes, {stats.n_cuisines} cuisines; "
+            f"largest {stats.largest_cuisine[0]} "
+            f"({stats.largest_cuisine[1]}), smallest "
+            f"{stats.smallest_cuisine[0]} ({stats.smallest_cuisine[1]}); "
+            f"mean recipe size {stats.mean_recipe_size:.2f}"
+        ),
+    ))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    context = ExperimentContext.create(
+        scale=args.scale,
+        seed=args.seed,
+        region_codes=tuple(args.regions) if args.regions else None,
+        mining=MiningConfig(min_support=args.min_support),
+        ensemble_runs=args.runs,
+        artifacts_dir=args.artifacts,
+    )
+    result = run_experiment(args.id, context)
+    print(result.render())
+    return 0
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    lexicon = standard_lexicon()
+    kitchen = WorldKitchen(lexicon, seed=args.seed)
+    dataset = kitchen.generate_dataset(
+        region_codes=(args.region,), scale=args.scale
+    )
+    view = dataset.cuisine(args.region)
+    spec = CuisineSpec.from_view(view, lexicon)
+    model = create_model(args.model)
+    result = run_ensemble(model, spec, n_runs=args.runs, seed=args.seed)
+    empirical, _ = combination_curve(dataset, view.region_code, lexicon)
+    distance = curve_distance(empirical, result.ingredient_curve)
+    trace = result.runs[0].trace
+    print(render_table(
+        ("Quantity", "Value"),
+        [
+            ("model", model.name),
+            ("region", view.region_code),
+            ("empirical recipes", view.n_recipes),
+            ("runs", result.n_runs),
+            ("recipes per run", result.runs[0].n_recipes),
+            ("final pool size (run 0)", result.runs[0].final_pool_size),
+            ("mutations accepted (run 0)", trace.mutations_accepted),
+            ("distance to empirical", f"{distance:.4f}"),
+        ],
+        title=f"{model.name} on {view.region_code}",
+    ))
+    return 0
+
+
+def _cmd_resolve(args: argparse.Namespace) -> int:
+    lexicon = standard_lexicon()
+    rows = []
+    for mention in args.mentions:
+        resolution = lexicon.resolve(mention)
+        rows.append(
+            (
+                mention,
+                resolution.ingredient.name if resolution.ingredient else "(unresolved)",
+                resolution.ingredient.category.value
+                if resolution.ingredient
+                else "-",
+            )
+        )
+    print(render_table(("Mention", "Entity", "Category"), rows))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import build_report
+
+    context = ExperimentContext.create(
+        scale=args.scale,
+        seed=args.seed,
+        region_codes=tuple(args.regions) if args.regions else None,
+        ensemble_runs=args.runs,
+    )
+    report = build_report(
+        context, include_ablations=not args.no_ablations
+    )
+    report.save(args.output)
+    print(f"wrote report to {args.output} ({report.elapsed_seconds:.1f}s)")
+    for key, value in report.headline.items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "experiment": _cmd_experiment,
+    "evolve": _cmd_evolve,
+    "resolve": _cmd_resolve,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    Library errors (:class:`~repro.errors.ReproError`) are reported on
+    stderr with exit code 1 instead of a traceback.
+    """
+    from repro.errors import ReproError
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""Recipe dataset containers.
+
+:class:`RecipeDataset` holds standardized recipes for the whole world
+corpus; :class:`CuisineView` is a lightweight per-region view exposing
+exactly the quantities the paper computes per cuisine (recipe count,
+vocabulary, average recipe size, the φ ratio of Algorithm 1, ...).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.corpus.recipe import Recipe
+from repro.corpus.regions import get_region
+from repro.errors import CorpusError, EmptyCorpusError
+
+__all__ = ["RecipeDataset", "CuisineView"]
+
+
+class CuisineView:
+    """All recipes of one cuisine (region) within a dataset.
+
+    Thin immutable view; analytics modules take these as input.
+    """
+
+    def __init__(self, region_code: str, recipes: Sequence[Recipe]):
+        self._region_code = region_code
+        self._recipes = tuple(recipes)
+        for recipe in self._recipes:
+            if recipe.region_code != region_code:
+                raise CorpusError(
+                    f"recipe {recipe.recipe_id} belongs to "
+                    f"{recipe.region_code!r}, not {region_code!r}"
+                )
+
+    @property
+    def region_code(self) -> str:
+        return self._region_code
+
+    @property
+    def recipes(self) -> tuple[Recipe, ...]:
+        return self._recipes
+
+    def __len__(self) -> int:
+        return len(self._recipes)
+
+    def __iter__(self) -> Iterator[Recipe]:
+        return iter(self._recipes)
+
+    def __bool__(self) -> bool:
+        return bool(self._recipes)
+
+    # ------------------------------------------------------------------
+    # Paper quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def n_recipes(self) -> int:
+        """N in Algorithm 1: total recipes in the cuisine."""
+        return len(self._recipes)
+
+    def ingredient_universe(self) -> tuple[int, ...]:
+        """Sorted unique ingredient ids used by this cuisine (I)."""
+        universe: set[int] = set()
+        for recipe in self._recipes:
+            universe.update(recipe.ingredient_ids)
+        return tuple(sorted(universe))
+
+    @property
+    def n_ingredients(self) -> int:
+        """Unique ingredient count (the Table I 'Ingredients' column)."""
+        return len(self.ingredient_universe())
+
+    def average_recipe_size(self) -> float:
+        """s̄ in Algorithm 1: mean distinct-ingredient count per recipe."""
+        self._require_nonempty()
+        return float(np.mean([recipe.size for recipe in self._recipes]))
+
+    def phi(self) -> float:
+        """φ in Algorithm 1: unique ingredients / recipes."""
+        self._require_nonempty()
+        return self.n_ingredients / self.n_recipes
+
+    def sizes(self) -> np.ndarray:
+        """Recipe sizes as an integer array (Fig. 1 input)."""
+        return np.array([recipe.size for recipe in self._recipes], dtype=np.int64)
+
+    def ingredient_recipe_counts(self) -> Counter:
+        """ingredient id -> number of recipes containing it (n_i of Eq. 1)."""
+        counts: Counter = Counter()
+        for recipe in self._recipes:
+            counts.update(recipe.ingredient_ids)
+        return counts
+
+    def as_id_sets(self) -> list[frozenset[int]]:
+        """Recipes as frozensets of ingredient ids (mining input)."""
+        return [frozenset(recipe.ingredient_ids) for recipe in self._recipes]
+
+    def _require_nonempty(self) -> None:
+        if not self._recipes:
+            raise EmptyCorpusError(
+                f"cuisine {self._region_code!r} has no recipes"
+            )
+
+
+class RecipeDataset:
+    """The full multi-cuisine recipe corpus.
+
+    Iterable over recipes; indexable by region code via :meth:`cuisine`.
+    """
+
+    def __init__(self, recipes: Iterable[Recipe]):
+        self._recipes: tuple[Recipe, ...] = tuple(recipes)
+        by_region: dict[str, list[Recipe]] = {}
+        seen_ids: set[int] = set()
+        for recipe in self._recipes:
+            if recipe.recipe_id in seen_ids:
+                raise CorpusError(f"duplicate recipe id {recipe.recipe_id}")
+            seen_ids.add(recipe.recipe_id)
+            by_region.setdefault(recipe.region_code, []).append(recipe)
+        self._views = {
+            code: CuisineView(code, recipes_)
+            for code, recipes_ in by_region.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._recipes)
+
+    def __iter__(self) -> Iterator[Recipe]:
+        return iter(self._recipes)
+
+    def __bool__(self) -> bool:
+        return bool(self._recipes)
+
+    @property
+    def recipes(self) -> tuple[Recipe, ...]:
+        return self._recipes
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def region_codes(self) -> tuple[str, ...]:
+        """Region codes present, sorted."""
+        return tuple(sorted(self._views))
+
+    def cuisine(self, region_code: str) -> CuisineView:
+        """The per-cuisine view for ``region_code``.
+
+        Accepts codes or full region names (resolved through the Table I
+        registry); unknown regions raise, and known regions with no
+        recipes return an empty view.
+        """
+        code = region_code if region_code in self._views else get_region(region_code).code
+        view = self._views.get(code)
+        if view is None:
+            return CuisineView(code, ())
+        return view
+
+    def cuisines(self) -> dict[str, CuisineView]:
+        """All per-cuisine views keyed by region code."""
+        return dict(self._views)
+
+    def filter(self, predicate: Callable[[Recipe], bool]) -> "RecipeDataset":
+        """New dataset containing recipes satisfying ``predicate``."""
+        return RecipeDataset(r for r in self._recipes if predicate(r))
+
+    def subset(self, region_codes: Iterable[str]) -> "RecipeDataset":
+        """New dataset restricted to the given regions."""
+        wanted = {get_region(code).code for code in region_codes}
+        return self.filter(lambda recipe: recipe.region_code in wanted)
+
+    # ------------------------------------------------------------------
+    # Aggregate quantities
+    # ------------------------------------------------------------------
+
+    def total_recipes_by_region(self) -> dict[str, int]:
+        """Region code -> recipe count."""
+        return {code: len(view) for code, view in self._views.items()}
+
+    def ingredient_universe(self) -> tuple[int, ...]:
+        """Sorted unique ingredient ids across the whole corpus."""
+        universe: set[int] = set()
+        for recipe in self._recipes:
+            universe.update(recipe.ingredient_ids)
+        return tuple(sorted(universe))
+
+    def global_ingredient_recipe_counts(self) -> Counter:
+        """ingredient id -> recipe count across all cuisines.
+
+        This is Eq. 1's global term numerator (Σ_c n_i^c).
+        """
+        counts: Counter = Counter()
+        for recipe in self._recipes:
+            counts.update(recipe.ingredient_ids)
+        return counts
+
+    def sizes(self) -> np.ndarray:
+        """All recipe sizes (aggregate Fig. 1 inset input)."""
+        return np.array([recipe.size for recipe in self._recipes], dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RecipeDataset({len(self._recipes)} recipes, "
+            f"{len(self._views)} cuisines)"
+        )

@@ -1,0 +1,99 @@
+"""Dataset combination utilities.
+
+The paper's compilation merges nine website extractions into one corpus;
+these helpers support the same workflow over our datasets: concatenation
+with id reassignment, and deterministic subsampling for scale studies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.corpus.dataset import RecipeDataset
+from repro.corpus.recipe import Recipe
+from repro.errors import CorpusError
+from repro.rng import SeedLike, ensure_rng
+
+__all__ = ["merge_datasets", "subsample_dataset", "reassign_ids"]
+
+
+def reassign_ids(
+    recipes: Iterable[Recipe], start_id: int = 0
+) -> list[Recipe]:
+    """Copy recipes with fresh sequential ids, preserving order."""
+    return [
+        Recipe(
+            recipe_id=start_id + offset,
+            region_code=recipe.region_code,
+            ingredient_ids=recipe.ingredient_ids,
+            title=recipe.title,
+            source=recipe.source,
+        )
+        for offset, recipe in enumerate(recipes)
+    ]
+
+
+def merge_datasets(
+    datasets: Sequence[RecipeDataset],
+    reassign: bool = True,
+) -> RecipeDataset:
+    """Concatenate datasets into one.
+
+    Args:
+        datasets: Datasets in merge order.
+        reassign: Assign fresh sequential ids (required whenever inputs
+            share id ranges).  With ``reassign=False``, overlapping ids
+            raise :class:`~repro.errors.CorpusError`.
+
+    Returns:
+        The merged dataset.
+    """
+    if not datasets:
+        raise CorpusError("no datasets to merge")
+    combined: list[Recipe] = []
+    for dataset in datasets:
+        combined.extend(dataset.recipes)
+    if reassign:
+        combined = reassign_ids(combined)
+    return RecipeDataset(combined)
+
+
+def subsample_dataset(
+    dataset: RecipeDataset,
+    fraction: float,
+    seed: SeedLike = None,
+    per_cuisine: bool = True,
+    min_per_cuisine: int = 1,
+) -> RecipeDataset:
+    """Random subsample of a dataset, preserving cuisine structure.
+
+    Args:
+        dataset: Source corpus.
+        fraction: Fraction of recipes to keep, in (0, 1].
+        seed: RNG seed for a reproducible draw.
+        per_cuisine: Sample within each cuisine (keeps every cuisine
+            represented) instead of globally.
+        min_per_cuisine: Floor on per-cuisine sample size.
+
+    Returns:
+        A new dataset with reassigned ids.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise CorpusError(f"fraction must be in (0, 1], got {fraction}")
+    rng = ensure_rng(seed)
+    chosen: list[Recipe] = []
+    if per_cuisine:
+        for code in dataset.region_codes():
+            recipes = dataset.cuisine(code).recipes
+            keep = max(min_per_cuisine, int(round(len(recipes) * fraction)))
+            keep = min(keep, len(recipes))
+            rows = rng.choice(len(recipes), size=keep, replace=False)
+            chosen.extend(recipes[int(row)] for row in np.sort(rows))
+    else:
+        recipes = dataset.recipes
+        keep = max(1, int(round(len(recipes) * fraction)))
+        rows = rng.choice(len(recipes), size=keep, replace=False)
+        chosen.extend(recipes[int(row)] for row in np.sort(rows))
+    return RecipeDataset(reassign_ids(chosen))

@@ -1,0 +1,102 @@
+"""Recipe datatypes.
+
+Two levels mirror the paper's pipeline:
+
+* :class:`RawRecipe` — a record as scraped from a website: free-text
+  ingredient mentions plus multi-level geo-cultural annotation.
+* :class:`Recipe` — a standardized record after the aliasing protocol:
+  a set of lexicon ingredient ids under a single cuisine (region) code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RawRecipe", "Recipe"]
+
+
+@dataclass(frozen=True)
+class RawRecipe:
+    """A recipe as it would arrive from a recipe aggregator website.
+
+    Attributes:
+        raw_id: Unique id within its batch.
+        title: Recipe display title.
+        mentions: Free-text ingredient mentions, one per ingredient line
+            (e.g. ``"2 cups finely chopped fresh cilantro leaves"``).
+        continent: Continent-level geo-cultural annotation.
+        region: Region-level annotation (the paper's "cuisine" level).
+        country: Country-level annotation, possibly empty.
+        source: Key of the aggregator website the record came from.
+        instructions: Cooking procedure text (carried, not analyzed).
+    """
+
+    raw_id: int
+    title: str
+    mentions: tuple[str, ...]
+    continent: str
+    region: str
+    country: str = ""
+    source: str = ""
+    instructions: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.mentions:
+            raise ValueError(f"raw recipe {self.raw_id} has no ingredient mentions")
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """A standardized recipe: a set of lexicon ingredient ids.
+
+    The paper treats a recipe as the *set* of its standardized
+    ingredients; sizes are therefore unique-ingredient counts.
+
+    Attributes:
+        recipe_id: Unique id within its dataset.
+        region_code: Cuisine code (one of the 25 region codes).
+        ingredient_ids: Sorted, duplicate-free lexicon ids.
+        title: Optional display title.
+        source: Optional aggregator key the recipe came from.
+    """
+
+    recipe_id: int
+    region_code: str
+    ingredient_ids: tuple[int, ...]
+    title: str = ""
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        ids = self.ingredient_ids
+        if not ids:
+            raise ValueError(f"recipe {self.recipe_id} has no ingredients")
+        deduplicated = tuple(sorted(set(ids)))
+        if deduplicated != ids:
+            object.__setattr__(self, "ingredient_ids", deduplicated)
+
+    @property
+    def size(self) -> int:
+        """Number of distinct ingredients (the paper's recipe size)."""
+        return len(self.ingredient_ids)
+
+    def contains(self, ingredient_id: int) -> bool:
+        """Membership test without building a set."""
+        ids = self.ingredient_ids
+        lo, hi = 0, len(ids)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if ids[mid] < ingredient_id:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo < len(ids) and ids[lo] == ingredient_id
+
+    def replace_ingredients(self, ingredient_ids: tuple[int, ...]) -> "Recipe":
+        """Copy of this recipe with a different ingredient set."""
+        return Recipe(
+            recipe_id=self.recipe_id,
+            region_code=self.region_code,
+            ingredient_ids=ingredient_ids,
+            title=self.title,
+            source=self.source,
+        )

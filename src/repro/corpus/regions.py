@@ -1,0 +1,130 @@
+"""The paper's 25 geo-cultural regions and their Table I statistics.
+
+Table I of the paper reports, per region: the region code, the number of
+compiled recipes, the number of unique ingredients, and the top five
+overrepresented ingredients.  These published values are the calibration
+targets for the synthetic corpus and the reference data for the
+``table1`` experiment.
+
+Note: the paper's INSC row lists *six* "top-5" ingredients (an editorial
+slip we preserve verbatim); and the per-region recipe counts sum to
+158,442 while the per-source counts (Sec. II) sum to the headline
+158,544 — a 102-recipe discrepancy in the published text, also preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnknownRegionError
+
+__all__ = ["Region", "REGIONS", "ALL_REGION_CODES", "get_region", "iter_regions"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """One of the paper's 25 geo-cultural regions.
+
+    Attributes:
+        code: Short region code used throughout the paper (e.g. ``"ITA"``).
+        name: Full region name as printed in Table I.
+        continent: Coarse geographic grouping (our annotation; the paper
+            stores a continent level in its multi-level annotation).
+        n_recipes: Recipes compiled for this region (Table I).
+        n_ingredients: Unique ingredients observed (Table I).
+        overrepresented: Top overrepresented ingredients (Table I),
+            lowercase canonical lexicon names, in printed order.
+    """
+
+    code: str
+    name: str
+    continent: str
+    n_recipes: int
+    n_ingredients: int
+    overrepresented: tuple[str, ...]
+
+    @property
+    def ingredients_per_recipe_ratio(self) -> float:
+        """The paper's φ for this cuisine: unique ingredients / recipes."""
+        return self.n_ingredients / self.n_recipes
+
+
+#: Table I, verbatim (ingredient names mapped to canonical lexicon form).
+REGIONS: tuple[Region, ...] = (
+    Region("AFR", "Africa", "Africa", 5465, 442,
+           ("cumin", "cinnamon", "olive", "cilantro", "paprika")),
+    Region("ANZ", "Australia & NZ", "Oceania", 6169, 463,
+           ("butter", "egg", "sugar", "flour", "coconut")),
+    Region("IRL", "Republic of Ireland", "Europe", 2702, 378,
+           ("potato", "butter", "cream", "flour", "baking powder")),
+    Region("CAN", "Canada", "North America", 7725, 483,
+           ("baking powder", "sugar", "butter", "flour", "vanilla")),
+    Region("CBN", "Caribbean", "North America", 3887, 417,
+           ("lime", "rum", "pineapple", "allspice", "thyme")),
+    Region("CHN", "China", "Asia", 7123, 442,
+           ("soybean sauce", "sesame", "ginger", "corn", "chicken")),
+    Region("DACH", "DACH Countries", "Europe", 4641, 430,
+           ("flour", "egg", "butter", "sugar", "swiss cheese")),
+    Region("EE", "Eastern Europe", "Europe", 3179, 383,
+           ("flour", "egg", "butter", "cream", "salt")),
+    Region("FRA", "France", "Europe", 9590, 511,
+           ("butter", "egg", "vanilla", "milk", "cream")),
+    Region("GRC", "Greece", "Europe", 5286, 405,
+           ("olive", "feta cheese", "oregano", "lemon juice", "tomato")),
+    Region("INSC", "Indian Subcontinent", "Asia", 10531, 462,
+           ("cayenne", "turmeric", "cumin", "cilantro", "ginger",
+            "garam masala")),
+    Region("ITA", "Italy", "Europe", 23179, 506,
+           ("olive", "parmesan cheese", "basil", "garlic", "tomato")),
+    Region("JPN", "Japan", "Asia", 2884, 382,
+           ("soybean sauce", "sesame", "ginger", "vinegar", "sake")),
+    Region("KOR", "Korea", "Asia", 1228, 291,
+           ("sesame", "soybean sauce", "garlic", "sugar", "ginger")),
+    Region("MEX", "Mexico", "North America", 16065, 467,
+           ("tortilla", "cilantro", "lime", "cumin", "tomato")),
+    Region("ME", "Middle East", "Asia", 4858, 423,
+           ("olive", "lemon juice", "parsley", "cumin", "mint")),
+    Region("SCND", "Scandinavia", "Europe", 3026, 377,
+           ("sugar", "flour", "butter", "egg", "milk")),
+    Region("SAM", "South America", "South America", 7458, 457,
+           ("beef", "onion", "pepper", "garlic", "mushroom")),
+    Region("SEA", "South East Asia", "Asia", 2523, 361,
+           ("fish", "sugar", "soybean sauce", "garlic", "lime")),
+    Region("SP", "Spain", "Europe", 4154, 413,
+           ("olive", "paprika", "garlic", "tomato", "parsley")),
+    Region("THA", "Thailand", "Asia", 3795, 378,
+           ("fish", "lime", "cilantro", "coconut milk", "soybean sauce")),
+    Region("USA", "USA", "North America", 16026, 592,
+           ("butter", "sugar", "vanilla", "flour", "mustard")),
+    Region("BN", "Belgium-Netherlands", "Europe", 1116, 323,
+           ("butter", "flour", "egg", "sugar", "milk")),
+    Region("CAM", "Central America", "North America", 470, 294,
+           ("salt", "tomato", "onion", "macaroni", "celery")),
+    Region("UK", "United Kingdom", "Europe", 5380, 456,
+           ("butter", "flour", "egg", "sugar", "milk")),
+)
+
+ALL_REGION_CODES: tuple[str, ...] = tuple(region.code for region in REGIONS)
+
+_BY_CODE = {region.code: region for region in REGIONS}
+_BY_NAME = {region.name.lower(): region for region in REGIONS}
+
+
+def get_region(key: str | Region) -> Region:
+    """Resolve a region code or full name to its :class:`Region`.
+
+    Raises:
+        UnknownRegionError: If ``key`` is not one of the 25 regions.
+    """
+    if isinstance(key, Region):
+        return key
+    text = str(key).strip()
+    found = _BY_CODE.get(text.upper()) or _BY_NAME.get(text.lower())
+    if found is None:
+        raise UnknownRegionError(text)
+    return found
+
+
+def iter_regions() -> tuple[Region, ...]:
+    """All 25 regions in Table I order."""
+    return REGIONS

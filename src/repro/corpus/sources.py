@@ -1,0 +1,60 @@
+"""The nine recipe aggregator websites the paper compiled from (Sec. II).
+
+Used by the synthetic corpus generator to attribute each generated raw
+record to a source (proportionally to the published per-source counts),
+so the ETL pipeline exercises the same provenance bookkeeping the paper's
+compilation required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RecipeSource", "SOURCES", "total_source_recipes", "source_weights"]
+
+
+@dataclass(frozen=True)
+class RecipeSource:
+    """One recipe aggregator website.
+
+    Attributes:
+        key: Short machine key.
+        name: Site name as printed in the paper.
+        url: Site URL as printed in the paper.
+        n_recipes: Recipes the paper attributes to this source.
+    """
+
+    key: str
+    name: str
+    url: str
+    n_recipes: int
+
+
+#: Sec. II, verbatim.  Counts sum to the paper's headline 158,544.
+SOURCES: tuple[RecipeSource, ...] = (
+    RecipeSource("geniuskitchen", "Genius Kitchen",
+                 "http://www.geniuskitchen.com", 101226),
+    RecipeSource("allrecipes", "Allrecipes", "http://allrecipes.com", 16131),
+    RecipeSource("foodnetwork", "Food Network",
+                 "https://www.foodnetwork.com", 15771),
+    RecipeSource("epicurious", "Epicurious",
+                 "https://www.epicurious.com", 11022),
+    RecipeSource("tasteau", "Taste AU", "https://www.taste.com.au", 7633),
+    RecipeSource("thespruce", "The Spruce", "https://www.thespruce.com", 3830),
+    RecipeSource("tarladalal", "TarlaDalal", "http://www.tarladalal.com", 2538),
+    RecipeSource("mykoreankitchen", "My Korean Kitchen",
+                 "https://mykoreankitchen.com", 198),
+    RecipeSource("kraftrecipes", "Kraft Recipes",
+                 "http://www.kraftrecipes.com", 195),
+)
+
+
+def total_source_recipes() -> int:
+    """Sum of per-source recipe counts (the paper's 158,544)."""
+    return sum(source.n_recipes for source in SOURCES)
+
+
+def source_weights() -> dict[str, float]:
+    """Source key -> fraction of the total corpus."""
+    total = total_source_recipes()
+    return {source.key: source.n_recipes / total for source in SOURCES}

@@ -1,0 +1,107 @@
+"""Descriptive corpus statistics (Sec. II narrative numbers).
+
+Computes the quantities the paper reports when describing its dataset:
+per-cuisine recipe and ingredient counts, averages across cuisines, and
+recipe size summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.dataset import CuisineView, RecipeDataset
+from repro.errors import EmptyCorpusError
+
+__all__ = ["CuisineStats", "CorpusStats", "cuisine_stats", "corpus_stats"]
+
+
+@dataclass(frozen=True)
+class CuisineStats:
+    """Summary statistics for one cuisine.
+
+    Attributes:
+        region_code: Cuisine code.
+        n_recipes: Recipe count (Table I column 2).
+        n_ingredients: Unique ingredient count (Table I column 3).
+        avg_recipe_size: Mean distinct-ingredient count per recipe.
+        min_recipe_size: Smallest recipe.
+        max_recipe_size: Largest recipe.
+        phi: Unique ingredients / recipes (Algorithm 1's φ).
+    """
+
+    region_code: str
+    n_recipes: int
+    n_ingredients: int
+    avg_recipe_size: float
+    min_recipe_size: int
+    max_recipe_size: int
+    phi: float
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Whole-corpus summary (the Sec. II narrative).
+
+    Attributes:
+        n_recipes: Total recipes.
+        n_cuisines: Number of cuisines present.
+        avg_recipes_per_cuisine: The paper reports 6338.
+        avg_ingredients_per_cuisine: The paper reports 421.
+        largest_cuisine: (code, recipe count) — the paper: ITA, 23179.
+        smallest_cuisine: (code, recipe count) — the paper: CAM, 470.
+        mean_recipe_size: Aggregate mean size — the paper: approx. 9.
+        per_cuisine: Per-cuisine records in region-code order.
+    """
+
+    n_recipes: int
+    n_cuisines: int
+    avg_recipes_per_cuisine: float
+    avg_ingredients_per_cuisine: float
+    largest_cuisine: tuple[str, int]
+    smallest_cuisine: tuple[str, int]
+    mean_recipe_size: float
+    per_cuisine: tuple[CuisineStats, ...]
+
+
+def cuisine_stats(view: CuisineView) -> CuisineStats:
+    """Compute :class:`CuisineStats` for one cuisine view."""
+    if not view:
+        raise EmptyCorpusError(f"cuisine {view.region_code!r} has no recipes")
+    sizes = view.sizes()
+    return CuisineStats(
+        region_code=view.region_code,
+        n_recipes=view.n_recipes,
+        n_ingredients=view.n_ingredients,
+        avg_recipe_size=float(sizes.mean()),
+        min_recipe_size=int(sizes.min()),
+        max_recipe_size=int(sizes.max()),
+        phi=view.phi(),
+    )
+
+
+def corpus_stats(dataset: RecipeDataset) -> CorpusStats:
+    """Compute :class:`CorpusStats` for a full dataset."""
+    if not dataset:
+        raise EmptyCorpusError("dataset has no recipes")
+    per_cuisine = tuple(
+        cuisine_stats(dataset.cuisine(code)) for code in dataset.region_codes()
+    )
+    recipe_counts = [(stats.region_code, stats.n_recipes) for stats in per_cuisine]
+    largest = max(recipe_counts, key=lambda item: item[1])
+    smallest = min(recipe_counts, key=lambda item: item[1])
+    return CorpusStats(
+        n_recipes=len(dataset),
+        n_cuisines=len(per_cuisine),
+        avg_recipes_per_cuisine=float(
+            np.mean([stats.n_recipes for stats in per_cuisine])
+        ),
+        avg_ingredients_per_cuisine=float(
+            np.mean([stats.n_ingredients for stats in per_cuisine])
+        ),
+        largest_cuisine=largest,
+        smallest_cuisine=smallest,
+        mean_recipe_size=float(dataset.sizes().mean()),
+        per_cuisine=per_cuisine,
+    )

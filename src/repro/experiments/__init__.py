@@ -1,0 +1,42 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.experiments.ablations import (
+    AblationResult,
+    run_ablation_m,
+    run_ablation_metric,
+    run_ablation_minsup,
+    run_ablation_mutations,
+)
+from repro.experiments.base import ExperimentContext
+from repro.experiments.fig1 import Fig1Result, run_fig1
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    available_experiments,
+    run_experiment,
+)
+from repro.experiments.table1 import Table1Result, run_table1
+
+__all__ = [
+    "AblationResult",
+    "run_ablation_m",
+    "run_ablation_metric",
+    "run_ablation_minsup",
+    "run_ablation_mutations",
+    "ExperimentContext",
+    "Fig1Result",
+    "run_fig1",
+    "Fig2Result",
+    "run_fig2",
+    "Fig3Result",
+    "run_fig3",
+    "Fig4Result",
+    "run_fig4",
+    "EXPERIMENTS",
+    "available_experiments",
+    "run_experiment",
+    "Table1Result",
+    "run_table1",
+]

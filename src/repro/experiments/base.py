@@ -1,0 +1,115 @@
+"""Experiment framework.
+
+An *experiment* regenerates one paper artifact (a table or figure) from a
+calibrated synthetic corpus.  :class:`ExperimentContext` bundles the
+shared inputs — lexicon, corpus, mining configuration, ensemble sizing —
+so every experiment driver is a pure function
+``run_<id>(context) -> <Result>``; result objects know how to render
+themselves as text and to export their underlying series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Protocol
+
+from repro.config import DEFAULT_MINING, MiningConfig
+from repro.corpus.dataset import RecipeDataset
+from repro.errors import ExperimentError
+from repro.lexicon.builder import standard_lexicon
+from repro.lexicon.lexicon import Lexicon
+from repro.rng import DEFAULT_SEED
+from repro.synthesis.worldgen import WorldKitchen
+
+__all__ = ["ExperimentContext", "ExperimentResultProtocol"]
+
+
+class ExperimentResultProtocol(Protocol):
+    """What every experiment result can do."""
+
+    def render(self) -> str:
+        """Human-readable report (tables/plots as text)."""
+        ...  # pragma: no cover - protocol
+
+    def to_payload(self) -> dict:
+        """JSON-serializable summary of the result."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class ExperimentContext:
+    """Shared inputs for experiment drivers.
+
+    Attributes:
+        lexicon: The standardized ingredient lexicon.
+        dataset: The (synthetic) empirical corpus.
+        scale: Scale the corpus was generated at (1.0 = full Table I
+            counts).
+        seed: Root seed for any model runs inside experiments.
+        mining: Frequent-combination mining configuration (paper: 0.05).
+        ensemble_runs: Model runs aggregated per (model, cuisine) —
+            the paper uses 100; interactive contexts default lower.
+        artifacts_dir: Where results write CSV/JSON artifacts (``None``
+            disables writing).
+    """
+
+    lexicon: Lexicon
+    dataset: RecipeDataset
+    scale: float
+    seed: int = DEFAULT_SEED
+    mining: MiningConfig = DEFAULT_MINING
+    ensemble_runs: int = 10
+    artifacts_dir: Path | None = None
+
+    @classmethod
+    def create(
+        cls,
+        scale: float = 0.1,
+        seed: int = DEFAULT_SEED,
+        region_codes: tuple[str, ...] | None = None,
+        mining: MiningConfig = DEFAULT_MINING,
+        ensemble_runs: int = 10,
+        artifacts_dir: str | Path | None = None,
+        lexicon: Lexicon | None = None,
+    ) -> "ExperimentContext":
+        """Build a context with a freshly generated corpus.
+
+        Args:
+            scale: Corpus scale (1.0 reproduces full Table I counts).
+            seed: Root seed (corpus and model runs derive from it).
+            region_codes: Regions to include (default all 25).
+            mining: Mining configuration.
+            ensemble_runs: Runs per model ensemble.
+            artifacts_dir: Optional artifact output directory.
+            lexicon: Override lexicon (default: the standard 721-entity
+                one).
+        """
+        if scale <= 0:
+            raise ExperimentError(f"scale must be > 0, got {scale}")
+        if ensemble_runs < 1:
+            raise ExperimentError(
+                f"ensemble_runs must be >= 1, got {ensemble_runs}"
+            )
+        lex = lexicon if lexicon is not None else standard_lexicon()
+        kitchen = WorldKitchen(lex, seed=seed)
+        dataset = kitchen.generate_dataset(region_codes=region_codes, scale=scale)
+        return cls(
+            lexicon=lex,
+            dataset=dataset,
+            scale=scale,
+            seed=seed,
+            mining=mining,
+            ensemble_runs=ensemble_runs,
+            artifacts_dir=Path(artifacts_dir) if artifacts_dir else None,
+        )
+
+    def with_dataset(self, dataset: RecipeDataset) -> "ExperimentContext":
+        """Copy of this context over a different corpus."""
+        return replace(self, dataset=dataset)
+
+    def artifact_path(self, name: str) -> Path | None:
+        """Path for an artifact file, or ``None`` if writing is disabled."""
+        if self.artifacts_dir is None:
+            return None
+        return self.artifacts_dir / name

@@ -1,0 +1,114 @@
+"""Experiment ``fig1``: recipe size distributions.
+
+Fig. 1 shows per-cuisine recipe size distributions plus the aggregate
+inset; the paper highlights that sizes are Gaussian-like, bounded in
+[2, 38] and average about 9 — homogeneously across cuisines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.size_distribution import (
+    SizeDistribution,
+    aggregate_size_distribution,
+    cuisine_size_distributions,
+)
+from repro.config import PAPER
+from repro.experiments.base import ExperimentContext
+from repro.viz.ascii import render_histogram, render_table
+from repro.viz.export import write_csv
+
+__all__ = ["Fig1Result", "run_fig1"]
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Regenerated Fig. 1."""
+
+    per_cuisine: dict[str, SizeDistribution]
+    aggregate: SizeDistribution
+    scale: float
+
+    def all_in_paper_bounds(self) -> bool:
+        """Whether every recipe size lies in the paper's [2, 38]."""
+        return (
+            self.aggregate.min_size >= PAPER.recipe_size_min
+            and self.aggregate.max_size <= PAPER.recipe_size_max
+        )
+
+    def mean_of_means(self) -> float:
+        """Mean of per-cuisine mean sizes."""
+        return float(
+            np.mean([dist.mean for dist in self.per_cuisine.values()])
+        )
+
+    def render(self) -> str:
+        summary_rows = [
+            (
+                code,
+                dist.n_recipes,
+                f"{dist.mean:.2f}",
+                f"{dist.std:.2f}",
+                dist.min_size,
+                dist.max_size,
+                f"{dist.gaussian_mu:.2f}",
+                f"{dist.gaussian_sigma:.2f}",
+            )
+            for code, dist in sorted(self.per_cuisine.items())
+        ]
+        table = render_table(
+            ("Region", "Recipes", "Mean", "Std", "Min", "Max",
+             "Fit mu", "Fit sigma"),
+            summary_rows,
+            title=(
+                f"Fig. 1 reproduction (scale={self.scale}): recipe size "
+                f"distributions; aggregate mean "
+                f"{self.aggregate.mean:.2f} (paper: approx. "
+                f"{PAPER.recipe_size_mean:.0f}), bounds "
+                f"[{self.aggregate.min_size}, {self.aggregate.max_size}] "
+                f"(paper: [{PAPER.recipe_size_min}, "
+                f"{PAPER.recipe_size_max}])"
+            ),
+        )
+        histogram = render_histogram(
+            list(self.aggregate.sizes),
+            list(self.aggregate.counts),
+            title="Aggregate recipe size histogram (inset)",
+        )
+        return f"{table}\n\n{histogram}"
+
+    def to_payload(self) -> dict:
+        return {
+            "experiment": "fig1",
+            "scale": self.scale,
+            "aggregate_mean": self.aggregate.mean,
+            "aggregate_std": self.aggregate.std,
+            "bounds": [self.aggregate.min_size, self.aggregate.max_size],
+            "paper_bounds": [PAPER.recipe_size_min, PAPER.recipe_size_max],
+            "in_paper_bounds": self.all_in_paper_bounds(),
+            "per_cuisine_means": {
+                code: dist.mean for code, dist in self.per_cuisine.items()
+            },
+        }
+
+
+def run_fig1(context: ExperimentContext) -> Fig1Result:
+    """Regenerate Fig. 1 from the context's corpus."""
+    result = Fig1Result(
+        per_cuisine=cuisine_size_distributions(context.dataset),
+        aggregate=aggregate_size_distribution(context.dataset),
+        scale=context.scale,
+    )
+    path = context.artifact_path("fig1.csv")
+    if path is not None:
+        rows = []
+        for code, dist in sorted(result.per_cuisine.items()):
+            for size, fraction in zip(dist.sizes, dist.fractions):
+                rows.append((code, int(size), float(fraction)))
+        for size, fraction in zip(result.aggregate.sizes, result.aggregate.fractions):
+            rows.append(("ALL", int(size), float(fraction)))
+        write_csv(path, ("region", "size", "fraction"), rows)
+    return result

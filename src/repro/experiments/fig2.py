@@ -1,0 +1,133 @@
+"""Experiment ``fig2``: category-usage boxplots.
+
+Fig. 2 shows, per category, boxplots across cuisines of the average
+ingredients-per-recipe drawn from that category.  The paper's narrative
+checks encoded here: the seven dominant categories (Vegetable, Additive,
+Spice, Dairy, Herb, Plant, Fruit) lead; INSC/AFR are spice-heavy while
+JPN/ANZ/IRL are not; SCND/FRA/IRL are dairy-heavy while JPN/SEA/THA/KOR
+are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.category_usage import (
+    BoxplotStats,
+    category_boxplots,
+    category_usage_matrix,
+    dominant_categories,
+)
+from repro.lexicon.categories import CATEGORY_INFO, Category
+from repro.experiments.base import ExperimentContext
+from repro.viz.ascii import render_boxplots, render_table
+from repro.viz.export import write_csv
+
+__all__ = ["Fig2Result", "run_fig2"]
+
+_SPICE_HEAVY = ("INSC", "AFR")
+_SPICE_LIGHT = ("JPN", "ANZ", "IRL")
+_DAIRY_HEAVY = ("SCND", "FRA", "IRL")
+_DAIRY_LIGHT = ("JPN", "SEA", "THA", "KOR")
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Regenerated Fig. 2."""
+
+    boxplots: dict[Category, BoxplotStats]
+    usage: dict[str, dict[Category, float]]
+    dominant: tuple[Category, ...]
+    scale: float
+
+    def _mean_usage(self, codes: tuple[str, ...], category: Category) -> float:
+        present = [code for code in codes if code in self.usage]
+        if not present:
+            return 0.0
+        return sum(self.usage[code][category] for code in present) / len(present)
+
+    def spice_contrast(self) -> tuple[float, float]:
+        """(INSC/AFR mean, JPN/ANZ/IRL mean) spice usage."""
+        return (
+            self._mean_usage(_SPICE_HEAVY, Category.SPICE),
+            self._mean_usage(_SPICE_LIGHT, Category.SPICE),
+        )
+
+    def dairy_contrast(self) -> tuple[float, float]:
+        """(SCND/FRA/IRL mean, JPN/SEA/THA/KOR mean) dairy usage."""
+        return (
+            self._mean_usage(_DAIRY_HEAVY, Category.DAIRY),
+            self._mean_usage(_DAIRY_LIGHT, Category.DAIRY),
+        )
+
+    def render(self) -> str:
+        ordered = sorted(
+            self.boxplots.values(),
+            key=lambda stats: CATEGORY_INFO[stats.category].display_order,
+        )
+        box_data = {
+            stats.category.value: (
+                stats.whisker_low, stats.q1, stats.median, stats.q3,
+                stats.whisker_high,
+            )
+            for stats in ordered
+        }
+        plot = render_boxplots(
+            box_data,
+            title=(
+                f"Fig. 2 reproduction (scale={self.scale}): avg ingredients "
+                "per recipe by category, boxplot across cuisines"
+            ),
+        )
+        spice_heavy, spice_light = self.spice_contrast()
+        dairy_heavy, dairy_light = self.dairy_contrast()
+        narrative = render_table(
+            ("Check", "Heavy group", "Light group", "Holds"),
+            [
+                ("Spice: INSC/AFR vs JPN/ANZ/IRL",
+                 f"{spice_heavy:.2f}", f"{spice_light:.2f}",
+                 spice_heavy > spice_light),
+                ("Dairy: SCND/FRA/IRL vs JPN/SEA/THA/KOR",
+                 f"{dairy_heavy:.2f}", f"{dairy_light:.2f}",
+                 dairy_heavy > dairy_light),
+            ],
+            title="Paper narrative checks",
+        )
+        dominant = ", ".join(category.value for category in self.dominant)
+        return f"{plot}\n\nDominant categories: {dominant}\n\n{narrative}"
+
+    def to_payload(self) -> dict:
+        spice_heavy, spice_light = self.spice_contrast()
+        dairy_heavy, dairy_light = self.dairy_contrast()
+        return {
+            "experiment": "fig2",
+            "scale": self.scale,
+            "dominant": [category.value for category in self.dominant],
+            "spice_contrast": [spice_heavy, spice_light],
+            "dairy_contrast": [dairy_heavy, dairy_light],
+            "medians": {
+                stats.category.value: stats.median
+                for stats in self.boxplots.values()
+            },
+        }
+
+
+def run_fig2(context: ExperimentContext, k_dominant: int = 7) -> Fig2Result:
+    """Regenerate Fig. 2 from the context's corpus."""
+    usage = category_usage_matrix(context.dataset, context.lexicon)
+    boxplots = category_boxplots(context.dataset, context.lexicon)
+    dominant = tuple(
+        dominant_categories(context.dataset, context.lexicon, k=k_dominant)
+    )
+    result = Fig2Result(
+        boxplots=boxplots, usage=usage, dominant=dominant, scale=context.scale
+    )
+    path = context.artifact_path("fig2.csv")
+    if path is not None:
+        rows = [
+            (code, category.value, f"{value:.6f}")
+            for code, row in sorted(usage.items())
+            for category, value in row.items()
+        ]
+        write_csv(path, ("region", "category", "mean_per_recipe"), rows)
+    return result

@@ -1,0 +1,65 @@
+"""Experiment registry: experiment id -> driver.
+
+Ids match DESIGN.md §4's experiment index; the CLI dispatches through
+this table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments.ablations import (
+    run_ablation_m,
+    run_ablation_metric,
+    run_ablation_minsup,
+    run_ablation_mutations,
+    run_ablation_null_sampling,
+)
+from repro.experiments.base import ExperimentContext
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.table1 import run_table1
+
+__all__ = ["EXPERIMENTS", "available_experiments", "run_experiment"]
+
+
+def _fig4_categories(context: ExperimentContext):
+    return run_fig4(context, level="category")
+
+
+EXPERIMENTS: dict[str, Callable[[ExperimentContext], object]] = {
+    "table1": run_table1,
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig4_categories": _fig4_categories,
+    "ablation_m": run_ablation_m,
+    "ablation_M": run_ablation_mutations,
+    "ablation_minsup": run_ablation_minsup,
+    "ablation_metric": run_ablation_metric,
+    "ablation_null_sampling": run_ablation_null_sampling,
+}
+
+
+def available_experiments() -> tuple[str, ...]:
+    """All experiment ids in DESIGN.md order."""
+    return tuple(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, context: ExperimentContext):
+    """Run one experiment by id.
+
+    Raises:
+        ExperimentError: For unknown ids.
+    """
+    driver = EXPERIMENTS.get(experiment_id)
+    if driver is None:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{available_experiments()}"
+        )
+    return driver(context)

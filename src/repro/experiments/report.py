@@ -1,0 +1,171 @@
+"""Full reproduction report: run every experiment, write one document.
+
+``build_report`` runs the complete experiment registry against a single
+context and assembles a markdown document in the spirit of
+EXPERIMENTS.md — headline numbers, per-artifact verdicts, and rendered
+tables.  The CLI exposes it as ``repro report``.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.config import PAPER
+from repro.experiments.ablations import (
+    run_ablation_metric,
+    run_ablation_minsup,
+)
+from repro.experiments.base import ExperimentContext
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.table1 import run_table1
+
+__all__ = ["ReproductionReport", "build_report"]
+
+
+@dataclass(frozen=True)
+class ReproductionReport:
+    """The assembled report plus its headline metrics.
+
+    Attributes:
+        markdown: Full report text.
+        headline: Key quantitative outcomes for programmatic checks.
+        elapsed_seconds: Wall time of the full run.
+    """
+
+    markdown: str
+    headline: dict
+    elapsed_seconds: float
+
+    def save(self, path: str | Path) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.markdown)
+        return target
+
+
+def build_report(
+    context: ExperimentContext,
+    include_ablations: bool = True,
+    fig4_regions: tuple[str, ...] | None = None,
+) -> ReproductionReport:
+    """Run every experiment and assemble the reproduction report.
+
+    Args:
+        context: Shared experiment context.
+        include_ablations: Also run the (slower) ablation sweeps.
+        fig4_regions: Restrict the model comparison to these cuisines
+            (default: every cuisine in the corpus).
+
+    Returns:
+        A :class:`ReproductionReport`.
+    """
+    start = time.time()
+    out = io.StringIO()
+    headline: dict = {"scale": context.scale, "seed": context.seed}
+
+    out.write("# Reproduction report\n\n")
+    out.write(
+        f"Corpus: {len(context.dataset)} recipes, "
+        f"{len(context.dataset.region_codes())} cuisines, "
+        f"scale {context.scale}, seed {context.seed}; "
+        f"mining at {context.mining.min_support:.0%} support; "
+        f"{context.ensemble_runs} runs per model ensemble.\n\n"
+    )
+
+    table1 = run_table1(context)
+    headline["table1_top5_overlap"] = table1.mean_top5_overlap()
+    out.write("## Table I\n\n```\n")
+    out.write(table1.render())
+    out.write("\n```\n\n")
+
+    fig1 = run_fig1(context)
+    headline["fig1_mean_size"] = fig1.aggregate.mean
+    headline["fig1_in_bounds"] = fig1.all_in_paper_bounds()
+    out.write("## Fig. 1\n\n```\n")
+    out.write(fig1.render())
+    out.write("\n```\n\n")
+
+    fig2 = run_fig2(context)
+    headline["fig2_spice_contrast"] = fig2.spice_contrast()
+    headline["fig2_dairy_contrast"] = fig2.dairy_contrast()
+    out.write("## Fig. 2\n\n```\n")
+    out.write(fig2.render())
+    out.write("\n```\n\n")
+
+    fig3 = run_fig3(context)
+    headline["fig3_avg_distance_ingredient"] = fig3.ingredient.average_distance
+    headline["fig3_avg_distance_category"] = fig3.category.average_distance
+    out.write("## Fig. 3\n\n")
+    out.write(
+        f"Average pairwise distance: ingredient "
+        f"{fig3.ingredient.average_distance:.4f} (paper "
+        f"{PAPER.reported_avg_mae_ingredients}), category "
+        f"{fig3.category.average_distance:.4f} (paper "
+        f"{PAPER.reported_avg_mae_categories}).\n\n"
+    )
+
+    fig4 = run_fig4(context, region_codes=fig4_regions)
+    headline["fig4_null_separation"] = fig4.null_separation()
+    headline["fig4_best_by_cuisine"] = fig4.best_model_by_cuisine()
+    out.write("## Fig. 4\n\n```\n")
+    out.write(fig4.render())
+    out.write("\n```\n\n")
+
+    # Supplementary invariants from the paper's framing (refs [3]-[8]):
+    # single-ingredient Zipf curves and Heaps-law vocabulary growth.
+    from repro.analysis.ingredient_usage import ingredient_invariance
+    from repro.analysis.vocabulary_growth import (
+        fit_heaps,
+        vocabulary_growth_curve,
+    )
+
+    invariance = ingredient_invariance(context.dataset)
+    headline["ingredient_zipf_exponent_mean"] = invariance["exponent_mean"]
+    headline["ingredient_curve_distance"] = invariance["avg_pairwise_distance"]
+    sample_codes = context.dataset.region_codes()[:3]
+    heaps = {
+        code: fit_heaps(
+            vocabulary_growth_curve(context.dataset.cuisine(code))
+        )
+        for code in sample_codes
+    }
+    out.write("## Supplementary invariants\n\n")
+    out.write(
+        f"Single-ingredient rank-frequency: Zipf exponent "
+        f"{invariance['exponent_mean']:.3f} ± "
+        f"{invariance['exponent_std']:.3f} across cuisines; avg pairwise "
+        f"curve distance {invariance['avg_pairwise_distance']:.4f}.\n\n"
+    )
+    out.write("Heaps-law vocabulary growth (sample):\n\n")
+    for code, fit in heaps.items():
+        out.write(
+            f"- {code}: V(n) ≈ {fit.k:.2f}·n^{fit.beta:.3f} "
+            f"(R² {fit.r_squared:.3f})\n"
+        )
+    out.write("\n")
+
+    if include_ablations:
+        minsup = run_ablation_minsup(context)
+        out.write("## Ablations\n\n```\n")
+        out.write(minsup.render())
+        out.write("\n")
+        metric = run_ablation_metric(
+            context,
+            region_codes=fig4_regions
+            or tuple(context.dataset.region_codes())[:3],
+        )
+        out.write(metric.render())
+        out.write("\n```\n\n")
+        headline["ablation_metric_rows"] = len(metric.rows)
+
+    elapsed = time.time() - start
+    out.write(f"_Generated in {elapsed:.1f}s._\n")
+    return ReproductionReport(
+        markdown=out.getvalue(), headline=headline, elapsed_seconds=elapsed
+    )

@@ -1,0 +1,28 @@
+"""Flavor-molecule substrate (FlavorDB stand-in; refs [3]-[6], [9]).
+
+No paper table or figure depends on molecule data, but the food-pairing
+ecosystem the paper builds on does; this subpackage provides synthetic
+molecule profiles, pairing statistics and the shared-compound network.
+"""
+
+from repro.flavor.molecule import FlavorMolecule, ODOR_DESCRIPTORS
+from repro.flavor.network import backbone, build_flavor_network, top_pairings
+from repro.flavor.pairing import (
+    PairingResult,
+    food_pairing_bias,
+    mean_shared_compounds,
+)
+from repro.flavor.profiles import FlavorProfileSet, build_flavor_profiles
+
+__all__ = [
+    "FlavorMolecule",
+    "ODOR_DESCRIPTORS",
+    "build_flavor_network",
+    "backbone",
+    "top_pairings",
+    "PairingResult",
+    "food_pairing_bias",
+    "mean_shared_compounds",
+    "FlavorProfileSet",
+    "build_flavor_profiles",
+]

@@ -1,0 +1,50 @@
+"""Flavor molecule entity (FlavorDB stand-in).
+
+The paper's lexicon derives from FlavorDB [9], a database of flavor
+molecules per ingredient.  No table or figure depends on molecule data,
+but the food-pairing literature the paper builds on (refs [3]-[6]) is
+defined in terms of *shared flavor compounds*, so the reproduction keeps
+a faithful data model: molecules with identifiers and odor descriptors,
+assigned to ingredients via :mod:`repro.flavor.profiles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FlavorMolecule", "ODOR_DESCRIPTORS"]
+
+#: Vocabulary of odor descriptors used when synthesizing molecules.
+ODOR_DESCRIPTORS: tuple[str, ...] = (
+    "sweet", "fruity", "green", "citrus", "floral", "woody", "earthy",
+    "nutty", "roasted", "caramellic", "buttery", "creamy", "fatty",
+    "sulfurous", "pungent", "spicy", "herbal", "minty", "camphoreous",
+    "smoky", "meaty", "marine", "mushroom", "winey", "sour", "bitter",
+    "balsamic", "honey", "vanilla", "almond", "coconut", "berry",
+    "apple", "melon", "tropical", "waxy", "musty", "alliaceous",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FlavorMolecule:
+    """A flavor compound.
+
+    Attributes:
+        molecule_id: Stable integer id (synthetic analogue of a PubChem id).
+        name: Display name.
+        odors: Odor descriptors associated with this compound.
+    """
+
+    molecule_id: int
+    name: str
+    odors: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.molecule_id < 0:
+            raise ValueError(f"molecule_id must be >= 0, got {self.molecule_id}")
+        if not self.name:
+            raise ValueError("molecule name must be non-empty")
+
+    def shares_odor_with(self, other: "FlavorMolecule") -> bool:
+        """Whether two molecules share at least one odor descriptor."""
+        return bool(set(self.odors) & set(other.odors))

@@ -1,0 +1,71 @@
+"""Flavor network construction (Ahn et al. [3]).
+
+Builds the weighted ingredient graph in which two ingredients are linked
+iff they share flavor compounds, with edge weight = number of shared
+compounds.  This is the backbone structure of the food-pairing literature
+the paper cites; exposed for exploratory analyses and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from repro.flavor.profiles import FlavorProfileSet
+
+__all__ = ["build_flavor_network", "backbone", "top_pairings"]
+
+
+def build_flavor_network(
+    profiles: FlavorProfileSet,
+    ingredients: Iterable[str] | None = None,
+    min_shared: int = 1,
+) -> nx.Graph:
+    """Build the shared-compound ingredient network.
+
+    Args:
+        profiles: Flavor profiles to link on.
+        ingredients: Node subset (defaults to every profiled ingredient).
+        min_shared: Minimum shared-compound count for an edge.
+
+    Returns:
+        An undirected :class:`networkx.Graph` whose edges carry a
+        ``weight`` attribute (shared-compound count).
+    """
+    names = sorted(profiles.profiles if ingredients is None else ingredients)
+    graph = nx.Graph()
+    graph.add_nodes_from(names)
+    for i, a in enumerate(names):
+        profile_a = profiles.profile_of(a)
+        if not profile_a:
+            continue
+        for b in names[i + 1:]:
+            shared = len(profile_a & profiles.profile_of(b))
+            if shared >= min_shared:
+                graph.add_edge(a, b, weight=shared)
+    return graph
+
+
+def backbone(graph: nx.Graph, min_weight: int) -> nx.Graph:
+    """Subgraph keeping only edges with ``weight >= min_weight``."""
+    kept = [
+        (u, v)
+        for u, v, w in graph.edges(data="weight", default=0)
+        if w >= min_weight
+    ]
+    sub = nx.Graph()
+    sub.add_nodes_from(graph.nodes)
+    sub.add_edges_from(
+        (u, v, {"weight": graph[u][v]["weight"]}) for u, v in kept
+    )
+    return sub
+
+
+def top_pairings(graph: nx.Graph, k: int = 10) -> list[tuple[str, str, int]]:
+    """The ``k`` strongest pairings as ``(a, b, shared_count)`` tuples."""
+    ranked = sorted(
+        ((u, v, int(w)) for u, v, w in graph.edges(data="weight", default=0)),
+        key=lambda edge: (-edge[2], edge[0], edge[1]),
+    )
+    return ranked[:k]

@@ -1,0 +1,15 @@
+"""Novel recipe generation from evolved pools (the paper's motivation)."""
+
+from repro.generation.generator import (
+    GeneratedRecipe,
+    GenerationConstraints,
+    GenerationError,
+    RecipeGenerator,
+)
+
+__all__ = [
+    "GeneratedRecipe",
+    "GenerationConstraints",
+    "GenerationError",
+    "RecipeGenerator",
+]

@@ -1,0 +1,46 @@
+"""Standardized ingredient lexicon (Sec. II substrate).
+
+Public surface:
+
+* :class:`~repro.lexicon.categories.Category` — the paper's 21 categories.
+* :class:`~repro.lexicon.ingredient.Ingredient` — a lexicon entity.
+* :class:`~repro.lexicon.lexicon.Lexicon` — the entity collection.
+* :func:`~repro.lexicon.builder.standard_lexicon` — the paper-exact
+  721-entity dictionary (625 simple + 96 compound).
+* :class:`~repro.lexicon.aliasing.AliasResolver` and
+  :func:`~repro.lexicon.aliasing.normalize_mention` — the aliasing
+  protocol used to map raw recipe mentions onto entities.
+"""
+
+from repro.lexicon.aliasing import (
+    AliasResolver,
+    Resolution,
+    normalize_mention,
+    singularize,
+)
+from repro.lexicon.builder import build_standard_lexicon, standard_lexicon
+from repro.lexicon.categories import (
+    CATEGORY_INFO,
+    CORE_CATEGORIES,
+    Category,
+    CategoryInfo,
+    parse_category,
+)
+from repro.lexicon.ingredient import Ingredient
+from repro.lexicon.lexicon import Lexicon
+
+__all__ = [
+    "AliasResolver",
+    "Resolution",
+    "normalize_mention",
+    "singularize",
+    "build_standard_lexicon",
+    "standard_lexicon",
+    "Category",
+    "CategoryInfo",
+    "CATEGORY_INFO",
+    "CORE_CATEGORIES",
+    "parse_category",
+    "Ingredient",
+    "Lexicon",
+]

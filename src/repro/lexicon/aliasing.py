@@ -1,0 +1,281 @@
+"""The ingredient-mention aliasing protocol (Sec. II).
+
+The paper maps every raw ingredient mention in a recipe (e.g. ``"2 cups
+finely chopped fresh cilantro leaves"``) onto one of the 721 standardized
+lexicon entities "using the aliasing protocol as described in Bagler and
+Singh".  This module reimplements that protocol as a deterministic,
+testable pipeline:
+
+1. **Normalize** — lowercase; drop punctuation, quantities, fractions and
+   measurement units; singularize plural tokens.
+2. **Exact match** — look the full normalized phrase up against the alias
+   table (canonical names + curated aliases + derived variants).
+3. **Longest-window scan** — scan every contiguous token window of the
+   phrase, longest windows first (ties broken left-to-right), and return
+   the first window that resolves.
+4. **Descriptor stripping** — remove preparation/state descriptors
+   ("chopped", "fresh", ...) and retry the exact match and window scan.
+
+Longer surface forms always win over shorter ones ("ginger garlic paste"
+resolves to the compound, never to "ginger"), which is what makes compound
+ingredients recognizable at all; scanning windows *before* stripping keeps
+entity names that contain descriptor-like words ("whole wheat flour",
+"ground turkey") reachable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.errors import AliasConflictError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lexicon.ingredient import Ingredient
+
+__all__ = [
+    "normalize_mention",
+    "singularize",
+    "AliasResolver",
+    "Resolution",
+    "UNIT_WORDS",
+    "DESCRIPTOR_WORDS",
+    "STOP_WORDS",
+]
+
+#: Measurement units and container words removed during normalization.
+UNIT_WORDS: frozenset[str] = frozenset({
+    "cup", "cups", "c", "tablespoon", "tablespoons", "tbsp", "tbs",
+    "teaspoon", "teaspoons", "tsp", "ounce", "ounces", "oz", "pound",
+    "pounds", "lb", "lbs", "gram", "grams", "g", "kg", "kilogram",
+    "kilograms", "ml", "milliliter", "milliliters", "liter", "liters",
+    "l", "pinch", "pinches", "dash", "dashes", "slice", "slices",
+    "piece", "pieces", "can", "cans", "tin", "tins", "jar", "jars",
+    "package", "packages", "packet", "packets", "bunch", "bunches",
+    "stick", "sticks", "quart", "quarts", "pint", "pints", "gallon",
+    "gallons", "handful", "handfuls", "sprig", "sprigs", "stalk",
+    "stalks", "head", "heads", "knob", "knobs", "inch", "inches",
+    "cube", "cubes", "bag", "bags", "box", "boxes", "container",
+    "containers", "envelope", "envelopes", "fluid", "fl", "qt", "pt",
+    "gal", "mg", "bottle", "bottles", "carton", "cartons", "scoop",
+    "scoops", "wedge", "wedges", "strip", "strips", "fillet", "fillets",
+    "bulb", "bulbs", "ear", "ears", "sheet", "sheets", "loaf", "loaves",
+})
+
+#: Preparation/state descriptors stripped when an exact match fails.
+#: Must stay disjoint from every word used in canonical entity names so
+#: stripping can never make a valid name unreachable.
+DESCRIPTOR_WORDS: frozenset[str] = frozenset({
+    "fresh", "freshly", "chopped", "finely", "coarsely", "roughly",
+    "minced", "diced", "sliced", "thinly", "thickly", "grated",
+    "shredded", "peeled", "seeded", "deseeded", "crushed", "ground",
+    "roasted", "toasted", "cooked", "uncooked", "raw", "boneless",
+    "skinless", "lean", "large", "small", "medium", "ripe", "frozen",
+    "canned", "drained", "rinsed", "divided", "optional", "softened",
+    "melted", "cold", "warm", "chilled", "dried", "halved", "quartered",
+    "trimmed", "packed", "heaping", "level", "scant", "extra", "virgin",
+    "whole", "crumbled", "cubed", "julienned", "zested", "squeezed",
+    "beaten", "whisked", "sifted", "unsalted", "salted", "unsweetened",
+    "sweetened", "reduced", "sodium", "fat", "free", "light", "dark",
+    "mild", "spicy", "prepared", "instant", "quick", "thawed", "torn",
+    "stemmed", "pitted", "shelled", "deveined", "boiled", "steamed",
+    "grilled", "baked", "fried", "sauteed", "blanched", "pureed",
+    "mashed", "additional", "more", "plus", "garnish", "serving",
+    "needed", "room", "temperature", "firmly", "lightly", "coarse",
+    "fine", "finely",
+})
+
+#: Grammatical filler removed during normalization.
+STOP_WORDS: frozenset[str] = frozenset({
+    "of", "a", "an", "the", "to", "for", "into", "in", "at", "about",
+    "approximately", "or", "as", "with", "without", "such", "each",
+    "taste", "your", "choice", "preferably", "if", "desired", "per",
+    "plus", "few", "some", "any",
+})
+
+#: Words that must never be singularized by the trailing-``s`` rule.
+_SINGULARIZE_EXCEPTIONS: frozenset[str] = frozenset({
+    "molasses", "asparagus", "hummus", "couscous", "swiss", "grits",
+    "citrus", "watercress", "brussels", "hibiscus", "octopus", "dulse",
+    "nopales", "caesar", "calamansi", "lemongrass", "gas",
+    "bass", "haggis", "is", "its", "this", "les", "pancreas",
+})
+
+_NUMBER_RE = re.compile(
+    r"""
+    (?:\d+\s*/\s*\d+)      # fractions: 1/2
+    | (?:\d+(?:\.\d+)?)    # integers and decimals
+    | [¼-¾⅐-⅞]  # unicode vulgar fractions
+    """,
+    re.VERBOSE,
+)
+_PUNCT_RE = re.compile(r"[^\w\s]")
+_WS_RE = re.compile(r"\s+")
+_PAREN_RE = re.compile(r"\([^)]*\)")
+
+
+#: Irregular ``-ves`` plurals that do not simply drop the trailing ``s``
+#: ("chives"/"olives"/"cloves" do; these do not).
+_VES_IRREGULARS: dict[str, str] = {
+    "leaves": "leaf",
+    "halves": "half",
+    "loaves": "loaf",
+    "calves": "calf",
+    "wolves": "wolf",
+    "shelves": "shelf",
+    "thieves": "thief",
+    "hooves": "hoof",
+    "knives": "knife",
+    "wives": "wife",
+}
+
+
+def singularize(token: str) -> str:
+    """Best-effort singular form of a single lowercase token.
+
+    Handles the regular English plural patterns that appear in recipe
+    text; irregulars that matter ("leaves", "tomatoes") are covered by
+    explicit rules, everything exotic belongs in the alias table.
+    """
+    if len(token) <= 3 or token in _SINGULARIZE_EXCEPTIONS:
+        return token
+    irregular = _VES_IRREGULARS.get(token)
+    if irregular is not None:
+        return irregular
+    if token.endswith("ies") and len(token) > 4:
+        return token[:-3] + "y"
+    if token.endswith(("ches", "shes", "sses", "xes", "zes", "oes")):
+        return token[:-2]
+    if token.endswith("s") and not token.endswith(("ss", "us", "is")):
+        return token[:-1]
+    return token
+
+
+def normalize_mention(text: str) -> str:
+    """Normalize a raw ingredient mention to matchable token form.
+
+    Lowercases, removes parentheticals, punctuation, numbers and unit
+    words, singularizes each remaining token, and collapses whitespace.
+    Descriptors are *not* stripped here — see :class:`AliasResolver`.
+    """
+    text = text.lower()
+    text = _PAREN_RE.sub(" ", text)
+    text = _NUMBER_RE.sub(" ", text)
+    text = _PUNCT_RE.sub(" ", text)
+    tokens = [
+        singularize(token)
+        for token in _WS_RE.split(text.strip())
+        if token and token not in UNIT_WORDS and token not in STOP_WORDS
+    ]
+    return " ".join(tokens)
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """Outcome of resolving a raw mention.
+
+    Attributes:
+        ingredient: The resolved lexicon entity, or ``None`` if unresolved.
+        matched_form: The surface form that produced the match.
+        normalized: The normalized mention the resolver worked on.
+    """
+
+    ingredient: Optional["Ingredient"]
+    matched_form: str
+    normalized: str
+
+    @property
+    def resolved(self) -> bool:
+        return self.ingredient is not None
+
+
+class AliasResolver:
+    """Resolves raw ingredient mentions to lexicon entities.
+
+    Built once per lexicon; resolution is pure and deterministic.
+    """
+
+    def __init__(self, ingredients: Iterable["Ingredient"]):
+        self._table: dict[str, "Ingredient"] = {}
+        self._max_form_tokens = 1
+        for ingredient in ingredients:
+            for form in ingredient.surface_forms:
+                self._register(normalize_mention(form), ingredient)
+
+    def _register(self, form: str, ingredient: "Ingredient") -> None:
+        if not form:
+            return
+        existing = self._table.get(form)
+        if existing is not None and existing.name != ingredient.name:
+            raise AliasConflictError(form, existing.name, ingredient.name)
+        self._table[form] = ingredient
+        self._max_form_tokens = max(self._max_form_tokens, form.count(" ") + 1)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def known_forms(self) -> frozenset[str]:
+        """All normalized surface forms the resolver can match exactly."""
+        return frozenset(self._table)
+
+    def lookup(self, form: str) -> Optional["Ingredient"]:
+        """Exact lookup of an already-normalized form."""
+        return self._table.get(form)
+
+    def resolve(self, mention: str) -> Resolution:
+        """Resolve a raw mention through the full protocol.
+
+        Args:
+            mention: Raw ingredient text as it appears in a recipe.
+
+        Returns:
+            A :class:`Resolution`; ``resolution.ingredient`` is ``None``
+            when no lexicon entity matches.
+        """
+        normalized = normalize_mention(mention)
+        if not normalized:
+            return Resolution(None, "", normalized)
+
+        # Stage 2: exact match on the full phrase.
+        hit = self._table.get(normalized)
+        if hit is not None:
+            return Resolution(hit, normalized, normalized)
+
+        # Stage 3: longest contiguous window, left-to-right — before any
+        # stripping, so entity names containing descriptor-like words
+        # ("whole wheat flour") beat their stripped shadows.
+        tokens = normalized.split(" ")
+        hit, candidate = self._scan_windows(tokens)
+        if hit is not None:
+            return Resolution(hit, candidate, normalized)
+
+        # Stage 4: strip descriptors, retry exact then windows.
+        stripped = [t for t in tokens if t not in DESCRIPTOR_WORDS]
+        if stripped and stripped != tokens:
+            candidate = " ".join(stripped)
+            hit = self._table.get(candidate)
+            if hit is not None:
+                return Resolution(hit, candidate, normalized)
+            hit, candidate = self._scan_windows(stripped)
+            if hit is not None:
+                return Resolution(hit, candidate, normalized)
+        return Resolution(None, "", normalized)
+
+    def _scan_windows(
+        self, tokens: list[str]
+    ) -> tuple[Optional["Ingredient"], str]:
+        """First table hit over contiguous windows, longest first."""
+        n = len(tokens)
+        max_window = min(n, self._max_form_tokens)
+        for width in range(max_window, 0, -1):
+            for start in range(0, n - width + 1):
+                candidate = " ".join(tokens[start:start + width])
+                hit = self._table.get(candidate)
+                if hit is not None:
+                    return hit, candidate
+        return None, ""
+
+    def resolve_many(self, mentions: Iterable[str]) -> list[Resolution]:
+        """Resolve several mentions; order preserved."""
+        return [self.resolve(mention) for mention in mentions]

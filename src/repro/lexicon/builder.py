@@ -1,0 +1,258 @@
+"""Deterministic construction of the standard 721-entity lexicon.
+
+The paper's lexicon has exactly 721 entities: a FlavorDB-derived base of
+625 simple ingredients plus 96 added compound ingredients, each manually
+assigned one of 21 categories (Sec. II).  This builder assembles our
+curated equivalent to those exact counts:
+
+* curated simple ingredients are taken in deterministic (category, list)
+  order; if there are more than the target, unprotected long-tail entries
+  are trimmed from the end (never below a per-category floor); if fewer,
+  distinct modifier+name variants are minted;
+* curated compound ingredients are used as-is and padded with
+  fruit-preserve style compounds if short.
+
+The result is identical across runs and platforms — no randomness is
+involved — so ingredient ids are stable.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.config import PAPER
+from repro.errors import LexiconError
+from repro.lexicon import _seed_data as seed
+from repro.lexicon.aliasing import normalize_mention
+from repro.lexicon.categories import Category, parse_category
+from repro.lexicon.ingredient import Ingredient
+from repro.lexicon.lexicon import Lexicon
+
+__all__ = [
+    "build_standard_lexicon",
+    "standard_lexicon",
+    "N_SIMPLE_TARGET",
+    "N_COMPOUND_TARGET",
+    "MIN_CATEGORY_SIZE",
+]
+
+#: Paper-exact targets: 625 simple + 96 compound = 721 entities.
+N_COMPOUND_TARGET = PAPER.n_compound_ingredients
+N_SIMPLE_TARGET = PAPER.n_lexicon_entities - N_COMPOUND_TARGET
+
+#: Trimming never reduces a category below this many simple entities, so
+#: category-restricted operations (CM-C mutation, Fig. 2) stay meaningful.
+MIN_CATEGORY_SIZE = 6
+
+
+def _curated_simple() -> list[tuple[str, Category]]:
+    """Curated (name, category) pairs in deterministic seed order."""
+    pairs: list[tuple[str, Category]] = []
+    seen: set[str] = set()
+    for category_value, names in seed.CURATED_SIMPLE.items():
+        category = parse_category(category_value)
+        for name in names:
+            if name in seen:
+                raise LexiconError(f"duplicate curated simple name {name!r}")
+            seen.add(name)
+            pairs.append((name, category))
+    return pairs
+
+
+def _protected_names() -> set[str]:
+    """Names that trimming must preserve."""
+    protected = set(seed.PROTECTED_NAMES)
+    protected.update(seed.CURATED_ALIASES)
+    for _name, _category, components in seed.CURATED_COMPOUNDS:
+        protected.update(components)
+    protected.update(seed.PAD_COMPOUND_BASES)
+    return protected
+
+
+def _trim_simple(
+    pairs: list[tuple[str, Category]], target: int
+) -> list[tuple[str, Category]]:
+    """Drop unprotected tail entries until ``len(pairs) == target``."""
+    protected = _protected_names()
+    counts: dict[Category, int] = {}
+    for _name, category in pairs:
+        counts[category] = counts.get(category, 0) + 1
+
+    keep = [True] * len(pairs)
+    excess = len(pairs) - target
+    for index in range(len(pairs) - 1, -1, -1):
+        if excess == 0:
+            break
+        name, category = pairs[index]
+        if name in protected or counts[category] <= MIN_CATEGORY_SIZE:
+            continue
+        keep[index] = False
+        counts[category] -= 1
+        excess -= 1
+    if excess > 0:
+        raise LexiconError(
+            f"cannot trim curated lexicon to {target} simple entities: "
+            f"{excess} entries over target are all protected"
+        )
+    return [pair for pair, kept in zip(pairs, keep) if kept]
+
+
+def _pad_simple(
+    pairs: list[tuple[str, Category]],
+    target: int,
+    taken_forms: set[str],
+) -> list[tuple[str, Category]]:
+    """Mint modifier+name variants until ``len(pairs) == target``."""
+    result = list(pairs)
+    base_pool = list(pairs)  # modifiers apply to curated names only
+    for modifier in seed.PAD_MODIFIERS:
+        if len(result) >= target:
+            break
+        for base_name, category in base_pool:
+            if len(result) >= target:
+                break
+            candidate = f"{modifier} {base_name}"
+            form = normalize_mention(candidate)
+            if not form or form in taken_forms:
+                continue
+            taken_forms.add(form)
+            result.append((candidate, category))
+    if len(result) < target:
+        raise LexiconError(
+            f"padding vocabulary exhausted at {len(result)} < {target}"
+        )
+    return result
+
+
+def _pad_compounds(
+    compounds: list[tuple[str, Category, tuple[str, ...]]],
+    target: int,
+    taken_forms: set[str],
+) -> list[tuple[str, Category, tuple[str, ...]]]:
+    """Mint fruit-preserve style compounds until the target is reached."""
+    result = list(compounds)
+    for suffix, category_value in seed.PAD_COMPOUND_SUFFIXES:
+        if len(result) >= target:
+            break
+        category = parse_category(category_value)
+        for base in seed.PAD_COMPOUND_BASES:
+            if len(result) >= target:
+                break
+            candidate = f"{base} {suffix}"
+            form = normalize_mention(candidate)
+            if not form or form in taken_forms:
+                continue
+            taken_forms.add(form)
+            result.append((candidate, category, (base,)))
+    if len(result) < target:
+        raise LexiconError(
+            f"compound padding vocabulary exhausted at {len(result)} < {target}"
+        )
+    return result
+
+
+def build_standard_lexicon(
+    n_simple: int = N_SIMPLE_TARGET,
+    n_compound: int = N_COMPOUND_TARGET,
+) -> Lexicon:
+    """Build the standard lexicon at the paper's exact entity counts.
+
+    Args:
+        n_simple: Number of simple (FlavorDB-style) entities.
+        n_compound: Number of compound entities.
+
+    Returns:
+        A deterministic :class:`~repro.lexicon.lexicon.Lexicon` with
+        ``n_simple + n_compound`` entities, ids assigned in sorted-name
+        order (simple first, compounds after).
+    """
+    if n_simple < 1 or n_compound < 0:
+        raise LexiconError(
+            f"invalid lexicon size request: {n_simple} simple, "
+            f"{n_compound} compound"
+        )
+
+    simple = _curated_simple()
+    curated_count = len(simple)
+    taken_forms = {normalize_mention(name) for name, _category in simple}
+
+    if curated_count > n_simple:
+        simple = _trim_simple(simple, n_simple)
+    elif curated_count < n_simple:
+        simple = _pad_simple(simple, n_simple, taken_forms)
+
+    compounds = [
+        (name, parse_category(category_value), tuple(components))
+        for name, category_value, components in seed.CURATED_COMPOUNDS
+    ]
+    while len(compounds) > n_compound:
+        # Drop from the tail, but never a compound that another kept
+        # compound still uses as a component (e.g. mayonnaise, used by
+        # tartar sauce).
+        referenced = {
+            component
+            for _name, _category, components in compounds
+            for component in components
+        }
+        for index in range(len(compounds) - 1, -1, -1):
+            if compounds[index][0] not in referenced:
+                del compounds[index]
+                break
+        else:
+            raise LexiconError(
+                f"cannot trim compounds to {n_compound}: every tail entry "
+                "is referenced by another compound"
+            )
+    if len(compounds) < n_compound:
+        compound_forms = {
+            normalize_mention(name) for name, _cat, _comp in compounds
+        }
+        compounds = _pad_compounds(
+            compounds, n_compound, taken_forms | compound_forms
+        )
+
+    simple_names = {name for name, _category in simple}
+    kept_names = simple_names | {name for name, _cat, _comp in compounds}
+
+    ingredients: list[Ingredient] = []
+    next_id = 0
+    curated_simple_names = {name for name, _ in _curated_simple()}
+    for name, category in sorted(simple):
+        aliases = tuple(seed.CURATED_ALIASES.get(name, ()))
+        ingredients.append(
+            Ingredient(
+                ingredient_id=next_id,
+                name=name,
+                category=category,
+                aliases=aliases,
+                curated=name in curated_simple_names,
+            )
+        )
+        next_id += 1
+    curated_compound_names = {name for name, _c, _p in seed.CURATED_COMPOUNDS}
+    for name, category, components in sorted(compounds):
+        missing = [c for c in components if c not in kept_names]
+        if missing:
+            raise LexiconError(
+                f"compound {name!r} references trimmed/unknown components: "
+                f"{missing}"
+            )
+        ingredients.append(
+            Ingredient(
+                ingredient_id=next_id,
+                name=name,
+                category=category,
+                aliases=tuple(seed.CURATED_ALIASES.get(name, ())),
+                is_compound=True,
+                components=components,
+                curated=name in curated_compound_names,
+            )
+        )
+        next_id += 1
+    return Lexicon(ingredients)
+
+
+@lru_cache(maxsize=2)
+def standard_lexicon() -> Lexicon:
+    """The cached paper-exact 721-entity lexicon."""
+    return build_standard_lexicon()

@@ -1,0 +1,131 @@
+"""The 21 ingredient categories used by the paper (Sec. II).
+
+The paper manually assigns every lexicon entity to exactly one of these
+categories.  We model them as an enum plus a small metadata record used by
+the synthesis subsystem (pantry role) and by Fig. 2 (display order).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import UnknownCategoryError
+
+__all__ = ["Category", "CategoryInfo", "CATEGORY_INFO", "parse_category", "CORE_CATEGORIES"]
+
+
+class Category(enum.Enum):
+    """One of the paper's 21 manually assigned ingredient categories."""
+
+    VEGETABLE = "Vegetable"
+    DAIRY = "Dairy"
+    LEGUME = "Legume"
+    MAIZE = "Maize"
+    CEREAL = "Cereal"
+    MEAT = "Meat"
+    NUTS_AND_SEEDS = "Nuts and Seeds"
+    PLANT = "Plant"
+    FISH = "Fish"
+    SEAFOOD = "Seafood"
+    SPICE = "Spice"
+    BAKERY = "Bakery"
+    BEVERAGE_ALCOHOLIC = "Beverage Alcoholic"
+    BEVERAGE = "Beverage"
+    ESSENTIAL_OIL = "Essential Oil"
+    FLOWER = "Flower"
+    FRUIT = "Fruit"
+    FUNGUS = "Fungus"
+    HERB = "Herb"
+    ADDITIVE = "Additive"
+    DISH = "Dish"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class CategoryInfo:
+    """Display/synthesis metadata for a category.
+
+    Attributes:
+        category: The category this record describes.
+        display_order: Position used when rendering Fig. 2-style outputs.
+        staple_weight: Relative propensity for ingredients of this category
+            to appear in a generic recipe (used as a synthesis prior; the
+            paper observes that Vegetable, Additive, Spice, Dairy, Herb,
+            Plant and Fruit are used "more frequently than other
+            categories").
+    """
+
+    category: Category
+    display_order: int
+    staple_weight: float
+
+
+#: Display order follows the paper's observation: the seven dominant
+#: categories first, then the remainder alphabetically.
+_ORDERED: list[tuple[Category, float]] = [
+    (Category.VEGETABLE, 2.2),
+    (Category.ADDITIVE, 2.0),
+    (Category.SPICE, 1.7),
+    (Category.DAIRY, 1.5),
+    (Category.HERB, 1.3),
+    (Category.PLANT, 1.1),
+    (Category.FRUIT, 1.0),
+    (Category.CEREAL, 0.7),
+    (Category.MEAT, 0.7),
+    (Category.BAKERY, 0.35),
+    (Category.BEVERAGE, 0.3),
+    (Category.BEVERAGE_ALCOHOLIC, 0.25),
+    (Category.DISH, 0.2),
+    (Category.ESSENTIAL_OIL, 0.1),
+    (Category.FISH, 0.35),
+    (Category.FLOWER, 0.1),
+    (Category.FUNGUS, 0.3),
+    (Category.LEGUME, 0.45),
+    (Category.MAIZE, 0.3),
+    (Category.NUTS_AND_SEEDS, 0.5),
+    (Category.SEAFOOD, 0.3),
+]
+
+CATEGORY_INFO: dict[Category, CategoryInfo] = {
+    category: CategoryInfo(category=category, display_order=i, staple_weight=weight)
+    for i, (category, weight) in enumerate(_ORDERED)
+}
+
+#: The seven categories the paper singles out as used "more frequently than
+#: other categories" across all cuisines (Sec. III / Fig. 2).
+CORE_CATEGORIES: tuple[Category, ...] = (
+    Category.VEGETABLE,
+    Category.ADDITIVE,
+    Category.SPICE,
+    Category.DAIRY,
+    Category.HERB,
+    Category.PLANT,
+    Category.FRUIT,
+)
+
+_BY_VALUE = {category.value.lower(): category for category in Category}
+_BY_NAME = {category.name.lower(): category for category in Category}
+
+
+def parse_category(text: str | Category) -> Category:
+    """Resolve ``text`` to a :class:`Category`.
+
+    Accepts the display value (``"Nuts and Seeds"``), the enum name
+    (``"NUTS_AND_SEEDS"``), or an existing :class:`Category` instance, in a
+    case-insensitive manner.
+
+    Raises:
+        UnknownCategoryError: If the text matches no category.
+    """
+    if isinstance(text, Category):
+        return text
+    key = str(text).strip().lower()
+    found = _BY_VALUE.get(key) or _BY_NAME.get(key)
+    if found is None:
+        found = _BY_VALUE.get(key.replace("_", " ")) or _BY_NAME.get(key.replace(" ", "_"))
+    if found is None:
+        raise UnknownCategoryError(str(text))
+    return found

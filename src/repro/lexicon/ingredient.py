@@ -1,0 +1,64 @@
+"""Ingredient entity model.
+
+A lexicon *entity* is either a simple ingredient ("tomato") or a compound
+ingredient ("tomato puree") composed of simple ones — Sec. II of the paper
+adds 96 such compounds to the FlavorDB base lexicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lexicon.categories import Category
+
+__all__ = ["Ingredient"]
+
+
+@dataclass(frozen=True)
+class Ingredient:
+    """A standardized lexicon entity.
+
+    Attributes:
+        ingredient_id: Stable integer id, unique within a lexicon.  Ids are
+            assigned deterministically by the builder (sorted by name), so a
+            given lexicon version always yields the same ids.
+        name: Canonical lowercase singular name (e.g. ``"soybean sauce"``).
+        category: One of the paper's 21 categories.
+        aliases: Alternative surface forms resolving to this entity.  Does
+            not include forms derivable by normalization (plurals etc.),
+            which the aliasing protocol handles on the fly.
+        is_compound: True for one of the 96 compound ingredients.
+        components: Canonical names of constituent ingredients (empty for
+            simple ingredients; components may themselves be compounds,
+            e.g. hummus contains tahini).
+        curated: False for deterministically generated long-tail entities
+            minted by the builder to reach the paper's exact lexicon size.
+    """
+
+    ingredient_id: int
+    name: str
+    category: Category
+    aliases: tuple[str, ...] = ()
+    is_compound: bool = False
+    components: tuple[str, ...] = ()
+    curated: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name != self.name.strip().lower():
+            raise ValueError(
+                f"ingredient name must be non-empty lowercase, got {self.name!r}"
+            )
+        if self.is_compound and not self.components:
+            raise ValueError(f"compound ingredient {self.name!r} has no components")
+        if not self.is_compound and self.components:
+            raise ValueError(
+                f"simple ingredient {self.name!r} must not declare components"
+            )
+
+    @property
+    def surface_forms(self) -> tuple[str, ...]:
+        """The canonical name followed by all aliases."""
+        return (self.name, *self.aliases)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name

@@ -1,0 +1,211 @@
+"""The :class:`Lexicon` container — the standardized ingredient dictionary.
+
+Mirrors the role of the paper's FlavorDB-derived lexicon: a fixed set of
+entities with categories and aliases, plus fast lookups by id, name and
+category, and a bound :class:`~repro.lexicon.aliasing.AliasResolver`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import LexiconError, UnknownIngredientError
+from repro.lexicon.aliasing import AliasResolver, Resolution
+from repro.lexicon.categories import Category, parse_category
+from repro.lexicon.ingredient import Ingredient
+
+__all__ = ["Lexicon"]
+
+
+class Lexicon:
+    """An immutable collection of ingredient entities with fast lookups.
+
+    Instances are normally obtained from
+    :func:`repro.lexicon.builder.build_standard_lexicon` (the paper's
+    721-entity dictionary) but any collection of
+    :class:`~repro.lexicon.ingredient.Ingredient` records works, which the
+    test-suite uses to build small fixture lexicons.
+    """
+
+    def __init__(self, ingredients: Iterable[Ingredient]):
+        self._by_id: dict[int, Ingredient] = {}
+        self._by_name: dict[str, Ingredient] = {}
+        self._by_category: dict[Category, list[Ingredient]] = {
+            category: [] for category in Category
+        }
+        for ingredient in ingredients:
+            if ingredient.ingredient_id in self._by_id:
+                raise LexiconError(
+                    f"duplicate ingredient id {ingredient.ingredient_id}"
+                )
+            if ingredient.name in self._by_name:
+                raise LexiconError(f"duplicate ingredient name {ingredient.name!r}")
+            self._by_id[ingredient.ingredient_id] = ingredient
+            self._by_name[ingredient.name] = ingredient
+            self._by_category[ingredient.category].append(ingredient)
+        self._resolver = AliasResolver(self._by_id.values())
+        self._validate_components()
+
+    def _validate_components(self) -> None:
+        for ingredient in self._by_id.values():
+            for component in ingredient.components:
+                if component not in self._by_name:
+                    raise LexiconError(
+                        f"compound {ingredient.name!r} references unknown "
+                        f"component {component!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Ingredient]:
+        return iter(sorted(self._by_id.values(), key=lambda i: i.ingredient_id))
+
+    def __contains__(self, key: object) -> bool:
+        if isinstance(key, Ingredient):
+            return key.ingredient_id in self._by_id
+        if isinstance(key, int):
+            return key in self._by_id
+        if isinstance(key, str):
+            return key in self._by_name
+        return False
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def by_id(self, ingredient_id: int) -> Ingredient:
+        """Return the entity with the given id.
+
+        Raises:
+            UnknownIngredientError: If no entity has this id.
+        """
+        try:
+            return self._by_id[ingredient_id]
+        except KeyError:
+            raise UnknownIngredientError(str(ingredient_id)) from None
+
+    def by_name(self, name: str) -> Ingredient:
+        """Return the entity with the given canonical name.
+
+        Raises:
+            UnknownIngredientError: If the name is not canonical.  Use
+            :meth:`resolve` for alias-aware lookup of raw mentions.
+        """
+        try:
+            return self._by_name[name.strip().lower()]
+        except KeyError:
+            raise UnknownIngredientError(name) from None
+
+    def get(self, name: str) -> Ingredient | None:
+        """Like :meth:`by_name` but returns ``None`` when missing."""
+        return self._by_name.get(name.strip().lower())
+
+    def by_category(self, category: Category | str) -> tuple[Ingredient, ...]:
+        """All entities in a category, ordered by id."""
+        cat = parse_category(category)
+        return tuple(
+            sorted(self._by_category[cat], key=lambda i: i.ingredient_id)
+        )
+
+    def resolve(self, mention: str) -> Resolution:
+        """Resolve a raw ingredient mention through the aliasing protocol."""
+        return self._resolver.resolve(mention)
+
+    @property
+    def resolver(self) -> AliasResolver:
+        return self._resolver
+
+    # ------------------------------------------------------------------
+    # Views and statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All canonical names, ordered by id."""
+        return tuple(i.name for i in self)
+
+    @property
+    def ids(self) -> tuple[int, ...]:
+        """All ids, ascending."""
+        return tuple(sorted(self._by_id))
+
+    @property
+    def simple_ingredients(self) -> tuple[Ingredient, ...]:
+        return tuple(i for i in self if not i.is_compound)
+
+    @property
+    def compound_ingredients(self) -> tuple[Ingredient, ...]:
+        return tuple(i for i in self if i.is_compound)
+
+    def category_of(self, ingredient_id: int) -> Category:
+        """Category of the entity with the given id."""
+        return self.by_id(ingredient_id).category
+
+    def category_sizes(self) -> dict[Category, int]:
+        """Number of entities per category."""
+        return {
+            category: len(members)
+            for category, members in self._by_category.items()
+        }
+
+    def id_to_category_array(self) -> dict[int, Category]:
+        """Mapping id -> category for bulk analytics."""
+        return {i.ingredient_id: i.category for i in self._by_id.values()}
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_records(self) -> list[dict]:
+        """Plain-dict records, suitable for JSON serialization."""
+        return [
+            {
+                "ingredient_id": i.ingredient_id,
+                "name": i.name,
+                "category": i.category.value,
+                "aliases": list(i.aliases),
+                "is_compound": i.is_compound,
+                "components": list(i.components),
+                "curated": i.curated,
+            }
+            for i in self
+        ]
+
+    @classmethod
+    def from_records(cls, records: Sequence[Mapping]) -> "Lexicon":
+        """Inverse of :meth:`to_records`."""
+        return cls(
+            Ingredient(
+                ingredient_id=int(record["ingredient_id"]),
+                name=str(record["name"]),
+                category=parse_category(record["category"]),
+                aliases=tuple(record.get("aliases", ())),
+                is_compound=bool(record.get("is_compound", False)),
+                components=tuple(record.get("components", ())),
+                curated=bool(record.get("curated", True)),
+            )
+            for record in records
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the lexicon to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_records(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Lexicon":
+        """Read a lexicon previously written by :meth:`save`."""
+        return cls.from_records(json.loads(Path(path).read_text()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        n_compound = len(self.compound_ingredients)
+        return (
+            f"Lexicon({len(self)} entities: {len(self) - n_compound} simple, "
+            f"{n_compound} compound)"
+        )

@@ -1,0 +1,56 @@
+"""Culinary evolution models (Sec. V — the paper's core contribution)."""
+
+from repro.models.base import (
+    CopyMutateBase,
+    CulinaryEvolutionModel,
+    EvolutionRun,
+)
+from repro.models.copy_mutate import (
+    CopyMutateCategory,
+    CopyMutateMixture,
+    CopyMutateRandom,
+)
+from repro.models.ensemble import EnsembleResult, ensemble_curve, run_ensemble
+from repro.models.fitness import (
+    FitnessStrategy,
+    RankBiasedFitness,
+    ScoredFitness,
+    UniformFitness,
+)
+from repro.models.null_model import NullModel
+from repro.models.params import CuisineSpec, ModelParams
+from repro.models.registry import (
+    PAPER_MODELS,
+    available_models,
+    create_model,
+    register_model,
+)
+from repro.models.state import EvolutionState, EvolutionTraceCounters
+from repro.models.statistics import EnsembleStatistics, summarize_ensemble
+
+__all__ = [
+    "CopyMutateBase",
+    "CulinaryEvolutionModel",
+    "EvolutionRun",
+    "CopyMutateCategory",
+    "CopyMutateMixture",
+    "CopyMutateRandom",
+    "EnsembleResult",
+    "ensemble_curve",
+    "run_ensemble",
+    "FitnessStrategy",
+    "RankBiasedFitness",
+    "ScoredFitness",
+    "UniformFitness",
+    "NullModel",
+    "CuisineSpec",
+    "ModelParams",
+    "PAPER_MODELS",
+    "available_models",
+    "create_model",
+    "register_model",
+    "EvolutionState",
+    "EvolutionTraceCounters",
+    "EnsembleStatistics",
+    "summarize_ensemble",
+]

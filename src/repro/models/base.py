@@ -1,0 +1,211 @@
+"""Algorithm 1's shared simulation loop.
+
+All four models of Sec. V share the same skeleton — fitness assignment,
+pool initialization, and the ∂-vs-φ alternation between recipe creation
+and ingredient-pool growth.  They differ only in how a new recipe is
+produced: the copy-mutate variants copy a mother recipe and mutate it
+(differing in replacement choice, the single abstract method here); the
+null model composes a fresh random recipe.
+
+Loop-bound resolution (see DESIGN.md §2): the paper's line 7 reads
+``for l = 1 to N − n`` yet only recipe steps create recipes and the text
+fixes the number of evolved recipes to ``N − n₀``; we therefore iterate
+until the recipe pool reaches ``N``, with pool-growth steps not consuming
+the recipe budget.  If the universe is exhausted while ∂ < φ, recipe
+steps proceed anyway (nothing else can change ∂).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.models.fitness import FitnessStrategy, UniformFitness
+from repro.models.params import CuisineSpec, ModelParams
+from repro.models.state import EvolutionState, EvolutionTraceCounters
+from repro.rng import SeedLike, ensure_rng
+
+__all__ = ["EvolutionRun", "CulinaryEvolutionModel", "CopyMutateBase"]
+
+
+@dataclass(frozen=True)
+class EvolutionRun:
+    """Result of one full Algorithm 1 simulation.
+
+    Attributes:
+        model_name: Registry name of the model that produced it.
+        region_code: Cuisine simulated.
+        transactions: Final recipe pool as ingredient-id sets.
+        final_pool_size: ``m`` at termination.
+        initial_recipes: ``n₀`` used.
+        trace: Event counters accumulated during the run.
+        history: Optional ``(m, n)`` trajectory sampled after every
+            iteration when the run was started with
+            ``record_history=True`` — the non-equilibrium growth curve
+            of the ingredient pool vs the recipe pool.
+    """
+
+    model_name: str
+    region_code: str
+    transactions: list[frozenset[int]]
+    final_pool_size: int
+    initial_recipes: int
+    trace: EvolutionTraceCounters
+    history: tuple[tuple[int, int], ...] | None = None
+
+    @property
+    def n_recipes(self) -> int:
+        return len(self.transactions)
+
+    def pool_trajectory(self) -> tuple[tuple[int, int], ...]:
+        """The recorded ``(m, n)`` trajectory.
+
+        Raises:
+            ModelError: If the run was not started with
+                ``record_history=True``.
+        """
+        if self.history is None:
+            raise ModelError(
+                "run was not recorded; pass record_history=True to run()"
+            )
+        return self.history
+
+
+class CulinaryEvolutionModel(abc.ABC):
+    """Base class for the Sec. V culinary evolution models.
+
+    Args:
+        params: Model parameters (Sec. VI defaults).
+        fitness: Fitness strategy (paper: Uniform(0, 1)).
+    """
+
+    #: Registry name, e.g. ``"CM-R"`` — set by concrete classes.
+    name: ClassVar[str] = ""
+
+    def __init__(
+        self,
+        params: ModelParams | None = None,
+        fitness: FitnessStrategy | None = None,
+    ):
+        self.params = params if params is not None else self.default_params()
+        self.fitness = fitness if fitness is not None else UniformFitness()
+
+    @classmethod
+    def default_params(cls) -> ModelParams:
+        """Paper defaults for this model (overridden per variant)."""
+        return ModelParams()
+
+    # ------------------------------------------------------------------
+    # The shared loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        spec: CuisineSpec,
+        seed: SeedLike = None,
+        record_history: bool = False,
+    ) -> EvolutionRun:
+        """Simulate one cuisine evolution (Algorithm 1).
+
+        Args:
+            spec: Cuisine inputs (``I``, ``s̄``, ``N``, ``φ``).
+            seed: RNG seed; fixed seeds reproduce runs exactly.
+            record_history: Also record the ``(m, n)`` trajectory after
+                every iteration (pool growth analysis).
+
+        Returns:
+            The completed :class:`EvolutionRun`.
+        """
+        rng = ensure_rng(seed)
+        fitness_values = np.asarray(
+            self.fitness.assign(spec.ingredient_ids, rng), dtype=np.float64
+        )
+        n0 = min(
+            self.params.derive_initial_recipes(spec.phi), spec.n_recipes
+        )
+        state = EvolutionState(
+            spec=spec,
+            fitness=fitness_values,
+            rng=rng,
+            initial_pool_size=self.params.initial_pool_size,
+            initial_recipes=n0,
+        )
+        history: list[tuple[int, int]] | None = (
+            [(state.m, state.n)] if record_history else None
+        )
+        while state.n < spec.n_recipes:
+            if state.pool_ratio() >= spec.phi or not state.can_grow_pool():
+                self._recipe_step(state, rng)
+            else:
+                state.grow_pool()
+            if history is not None:
+                history.append((state.m, state.n))
+        return EvolutionRun(
+            model_name=self.name,
+            region_code=spec.region_code,
+            transactions=state.transactions(),
+            final_pool_size=state.m,
+            initial_recipes=n0,
+            trace=state.trace,
+            history=tuple(history) if history is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _recipe_step(
+        self, state: EvolutionState, rng: np.random.Generator
+    ) -> None:
+        """Produce and add one new recipe (lines 10-19 / null variant)."""
+
+
+class CopyMutateBase(CulinaryEvolutionModel):
+    """Shared copy-mutate recipe step (Algorithm 1 lines 10-19).
+
+    Subclasses implement :meth:`_choose_replacement` — the only point
+    where CM-R, CM-C and CM-M differ.
+    """
+
+    def _recipe_step(
+        self, state: EvolutionState, rng: np.random.Generator
+    ) -> None:
+        mother = state.recipes[state.random_recipe_index()]
+        recipe = list(mother)
+        for _g in range(self.params.mutations):
+            state.trace.mutations_attempted += 1
+            victim_position = int(rng.integers(0, len(recipe)))
+            victim = recipe[victim_position]
+            replacement = self._choose_replacement(state, victim, rng)
+            if replacement is None:
+                state.trace.mutations_skipped_no_candidate += 1
+                continue
+            if replacement == victim:
+                state.trace.mutations_rejected_duplicate += 1
+                continue
+            if state.fitness_of(replacement) <= state.fitness_of(victim):
+                state.trace.mutations_rejected_fitness += 1
+                continue
+            if replacement in recipe:
+                if self.params.duplicate_policy == "skip":
+                    state.trace.mutations_rejected_duplicate += 1
+                    continue
+                # "allow": the duplicate collapses when the recipe is
+                # treated as a set, shrinking it by one.
+            recipe[victim_position] = replacement
+            state.trace.mutations_accepted += 1
+        state.add_recipe(recipe)
+
+    @abc.abstractmethod
+    def _choose_replacement(
+        self,
+        state: EvolutionState,
+        victim: int,
+        rng: np.random.Generator,
+    ) -> int | None:
+        """Pick the candidate ``j`` from the pool, or ``None`` to skip."""

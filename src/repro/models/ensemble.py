@@ -1,0 +1,138 @@
+"""Ensemble running and aggregation (Sec. V, last step).
+
+"For normalization purposes, we create 100 such sets of random
+copy-mutate recipes and study the aggregated statistics."  This module
+runs a model repeatedly with independent seeds and aggregates the
+per-run rank-frequency curves of frequent combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.itemsets import (
+    CATEGORY_INDEX,
+    mine_frequent_itemsets,
+)
+from repro.analysis.rank_frequency import (
+    RankFrequencyCurve,
+    average_curves,
+    curve_from_mining,
+)
+from repro.config import DEFAULT_MINING, MiningConfig, PAPER
+from repro.errors import ModelError
+from repro.lexicon.lexicon import Lexicon
+from repro.models.base import CulinaryEvolutionModel, EvolutionRun
+from repro.models.params import CuisineSpec
+from repro.rng import SeedLike, ensure_rng, spawn
+
+__all__ = ["EnsembleResult", "run_ensemble", "ensemble_curve"]
+
+
+@dataclass(frozen=True)
+class EnsembleResult:
+    """Runs plus aggregated curves for one (model, cuisine) pair.
+
+    Attributes:
+        model_name: The model's registry name.
+        region_code: Cuisine simulated.
+        runs: Individual simulation runs.
+        ingredient_curve: Rank-aligned mean curve of frequent ingredient
+            combinations over runs.
+        category_curve: Same at the category level, when requested.
+    """
+
+    model_name: str
+    region_code: str
+    runs: tuple[EvolutionRun, ...]
+    ingredient_curve: RankFrequencyCurve
+    category_curve: RankFrequencyCurve | None = None
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.runs)
+
+
+def _category_transactions(
+    run: EvolutionRun, lexicon: Lexicon
+) -> list[frozenset[int]]:
+    id_to_category = lexicon.id_to_category_array()
+    return [
+        frozenset(CATEGORY_INDEX[id_to_category[i]] for i in transaction)
+        for transaction in run.transactions
+    ]
+
+
+def ensemble_curve(
+    runs: tuple[EvolutionRun, ...] | list[EvolutionRun],
+    label: str,
+    mining: MiningConfig = DEFAULT_MINING,
+    level: str = "ingredient",
+    lexicon: Lexicon | None = None,
+) -> RankFrequencyCurve:
+    """Aggregate runs into one rank-frequency curve at the given level."""
+    if not runs:
+        raise ModelError("cannot aggregate zero runs")
+    if level == "category" and lexicon is None:
+        raise ModelError("category-level aggregation requires a lexicon")
+    curves = []
+    for index, run in enumerate(runs):
+        transactions = (
+            run.transactions
+            if level == "ingredient"
+            else _category_transactions(run, lexicon)  # type: ignore[arg-type]
+        )
+        result = mine_frequent_itemsets(
+            transactions,
+            min_support=mining.min_support,
+            algorithm=mining.algorithm,
+            max_size=mining.max_size,
+        )
+        curves.append(curve_from_mining(result, f"{label}#{index}"))
+    return average_curves(curves, label)
+
+
+def run_ensemble(
+    model: CulinaryEvolutionModel,
+    spec: CuisineSpec,
+    n_runs: int = PAPER.model_ensemble_runs,
+    seed: SeedLike = None,
+    mining: MiningConfig = DEFAULT_MINING,
+    lexicon: Lexicon | None = None,
+    include_category_level: bool = False,
+) -> EnsembleResult:
+    """Run ``model`` ``n_runs`` times and aggregate (Sec. V).
+
+    Args:
+        model: A configured evolution model.
+        spec: Cuisine inputs.
+        n_runs: Independent runs (paper: 100).
+        seed: Root seed; children are spawned per run.
+        mining: Support threshold configuration (paper: 0.05).
+        lexicon: Needed only when ``include_category_level``.
+        include_category_level: Also aggregate category combinations.
+
+    Returns:
+        An :class:`EnsembleResult`.
+    """
+    if n_runs < 1:
+        raise ModelError(f"n_runs must be >= 1, got {n_runs}")
+    root = ensure_rng(seed)
+    runs = tuple(
+        model.run(spec, seed=child) for child in spawn(root, n_runs)
+    )
+    ingredient_curve = ensemble_curve(
+        runs, model.name, mining=mining, level="ingredient"
+    )
+    category_curve = None
+    if include_category_level:
+        category_curve = ensemble_curve(
+            runs, model.name, mining=mining, level="category", lexicon=lexicon
+        )
+    return EnsembleResult(
+        model_name=model.name,
+        region_code=spec.region_code,
+        runs=runs,
+        ingredient_curve=ingredient_curve,
+        category_curve=category_curve,
+    )

@@ -1,0 +1,173 @@
+"""Horizontal (cross-cuisine) transmission (the paper's future work).
+
+Sec. VII: "it is highly unlikely that cuisines evolved in isolation.
+Analogous to languages, the propagation of culinary habits would have
+been both vertical (time) as well as horizontal (regions)."
+
+:class:`HorizontalExchangeSimulation` co-evolves several cuisines with
+an inner copy-mutate model; at each recipe step, with probability
+``exchange_rate`` the mother recipe is *borrowed* from another cuisine
+(filtered to the borrower's ingredient universe) instead of copied from
+the cuisine's own pool — a minimal model of migration and trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError, ParameterError
+from repro.models.base import CopyMutateBase, EvolutionRun
+from repro.models.params import CuisineSpec
+from repro.models.state import EvolutionState
+from repro.rng import SeedLike, ensure_rng
+
+__all__ = ["HorizontalExchangeSimulation", "ExchangeOutcome"]
+
+
+@dataclass(frozen=True)
+class ExchangeOutcome:
+    """Result of a co-evolution simulation.
+
+    Attributes:
+        runs: Per-cuisine evolution runs, keyed by region code.
+        borrow_events: Count of cross-cuisine borrowings per borrower.
+    """
+
+    runs: dict[str, EvolutionRun]
+    borrow_events: dict[str, int]
+
+
+class HorizontalExchangeSimulation:
+    """Co-evolves several cuisines with cross-cuisine recipe borrowing.
+
+    Args:
+        inner_model: A :class:`CopyMutateBase` subclass *instance* whose
+            mutation machinery is reused for every cuisine.
+        exchange_rate: Probability that a recipe step borrows its mother
+            recipe from a random other cuisine.
+    """
+
+    def __init__(
+        self,
+        inner_model: CopyMutateBase,
+        exchange_rate: float = 0.05,
+    ):
+        if not isinstance(inner_model, CopyMutateBase):
+            raise ModelError(
+                "horizontal exchange requires a copy-mutate inner model"
+            )
+        if not 0.0 <= exchange_rate <= 1.0:
+            raise ParameterError(
+                f"exchange_rate must be in [0, 1], got {exchange_rate}"
+            )
+        self.inner_model = inner_model
+        self.exchange_rate = exchange_rate
+
+    def run(
+        self, specs: list[CuisineSpec], seed: SeedLike = None
+    ) -> ExchangeOutcome:
+        """Co-evolve all cuisines to their target sizes.
+
+        Cuisines advance in round-robin order; each advances through the
+        usual ∂-vs-φ alternation, but mother recipes are occasionally
+        imported from a random other cuisine and filtered to ingredients
+        the borrower knows (unknown ingredients are replaced with random
+        pool members).
+        """
+        if len(specs) < 2:
+            raise ModelError("horizontal exchange needs at least two cuisines")
+        codes = [spec.region_code for spec in specs]
+        if len(set(codes)) != len(codes):
+            raise ModelError("cuisine specs must have distinct region codes")
+        rng = ensure_rng(seed)
+        model = self.inner_model
+
+        states: dict[str, EvolutionState] = {}
+        initial_sizes: dict[str, int] = {}
+        for spec in specs:
+            fitness = model.fitness.assign(spec.ingredient_ids, rng)
+            n0 = min(model.params.derive_initial_recipes(spec.phi), spec.n_recipes)
+            initial_sizes[spec.region_code] = n0
+            states[spec.region_code] = EvolutionState(
+                spec=spec,
+                fitness=np.asarray(fitness, dtype=np.float64),
+                rng=rng,
+                initial_pool_size=model.params.initial_pool_size,
+                initial_recipes=n0,
+            )
+
+        borrow_events = {code: 0 for code in codes}
+        active = [spec for spec in specs]
+        while active:
+            still_active = []
+            for spec in active:
+                state = states[spec.region_code]
+                if state.n >= spec.n_recipes:
+                    continue
+                if state.pool_ratio() >= spec.phi or not state.can_grow_pool():
+                    self._recipe_step(state, specs, states, rng, borrow_events)
+                else:
+                    state.grow_pool()
+                if state.n < spec.n_recipes:
+                    still_active.append(spec)
+            active = still_active
+
+        runs = {
+            spec.region_code: EvolutionRun(
+                model_name=f"HX({model.name})",
+                region_code=spec.region_code,
+                transactions=states[spec.region_code].transactions(),
+                final_pool_size=states[spec.region_code].m,
+                initial_recipes=initial_sizes[spec.region_code],
+                trace=states[spec.region_code].trace,
+            )
+            for spec in specs
+        }
+        return ExchangeOutcome(runs=runs, borrow_events=borrow_events)
+
+    def _recipe_step(
+        self,
+        state: EvolutionState,
+        specs: list[CuisineSpec],
+        states: dict[str, EvolutionState],
+        rng: np.random.Generator,
+        borrow_events: dict[str, int],
+    ) -> None:
+        code = state.spec.region_code
+        mother: list[int]
+        if rng.random() < self.exchange_rate:
+            donors = [spec.region_code for spec in specs if spec.region_code != code]
+            donor_state = states[donors[int(rng.integers(0, len(donors)))]]
+            donor_recipe = donor_state.recipes[donor_state.random_recipe_index()]
+            known = set(state.spec.ingredient_ids)
+            mother = [i for i in donor_recipe if i in known]
+            # Refill foreign slots from the local pool.
+            while len(mother) < len(donor_recipe):
+                candidate = state.random_pool_ingredient()
+                if candidate not in mother:
+                    mother.append(candidate)
+            borrow_events[code] += 1
+        else:
+            mother = state.recipes[state.random_recipe_index()]
+
+        recipe = list(mother)
+        params = self.inner_model.params
+        for _g in range(params.mutations):
+            state.trace.mutations_attempted += 1
+            victim_position = int(rng.integers(0, len(recipe)))
+            victim = recipe[victim_position]
+            replacement = self.inner_model._choose_replacement(state, victim, rng)
+            if replacement is None or replacement == victim:
+                state.trace.mutations_rejected_duplicate += 1
+                continue
+            if state.fitness_of(replacement) <= state.fitness_of(victim):
+                state.trace.mutations_rejected_fitness += 1
+                continue
+            if replacement in recipe:
+                state.trace.mutations_rejected_duplicate += 1
+                continue
+            recipe[victim_position] = replacement
+            state.trace.mutations_accepted += 1
+        state.add_recipe(recipe)

@@ -1,0 +1,200 @@
+"""Mutable simulation state for Algorithm 1.
+
+Tracks the ingredient universe ``I``, the growing pool ``I₀``, the
+growing recipe pool ``R₀``, per-ingredient fitness, and the pool-ratio
+bookkeeping (∂ = m/n vs φ).  The state exposes exactly the operations
+the algorithm needs, each preserving the documented invariants (enforced
+by the property tests):
+
+* the pool is always a subset of the original universe;
+* pool and remaining universe are disjoint and their union is constant;
+* ``m`` and ``n`` always equal the actual container sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.lexicon.categories import Category
+from repro.models.params import CuisineSpec
+
+__all__ = ["EvolutionState", "EvolutionTraceCounters"]
+
+
+@dataclass
+class EvolutionTraceCounters:
+    """Event counts accumulated during one run.
+
+    Attributes:
+        recipes_added: Copy-mutate (or null) recipe additions.
+        ingredients_added: Pool growth events.
+        mutations_attempted: Mutation attempts (g-loop iterations).
+        mutations_accepted: Replacements actually applied.
+        mutations_rejected_fitness: Rejected because fitness(j) <= fitness(i).
+        mutations_rejected_duplicate: Rejected because j was already in r.
+        mutations_skipped_no_candidate: CM-C attempts with no same-category
+            candidate in the pool (under the "skip" fallback).
+    """
+
+    recipes_added: int = 0
+    ingredients_added: int = 0
+    mutations_attempted: int = 0
+    mutations_accepted: int = 0
+    mutations_rejected_fitness: int = 0
+    mutations_rejected_duplicate: int = 0
+    mutations_skipped_no_candidate: int = 0
+
+
+class EvolutionState:
+    """Live state of one Algorithm 1 run."""
+
+    def __init__(
+        self,
+        spec: CuisineSpec,
+        fitness: np.ndarray,
+        rng: np.random.Generator,
+        initial_pool_size: int,
+        initial_recipes: int,
+    ):
+        if fitness.shape != (len(spec.ingredient_ids),):
+            raise ModelError(
+                f"fitness must align with the universe: {fitness.shape} vs "
+                f"{len(spec.ingredient_ids)}"
+            )
+        m = min(initial_pool_size, len(spec.ingredient_ids))
+        if m < 1:
+            raise ModelError("initial pool must hold at least one ingredient")
+
+        self.spec = spec
+        self._rng = rng
+        self._fitness = {
+            ingredient_id: float(value)
+            for ingredient_id, value in zip(spec.ingredient_ids, fitness)
+        }
+        self._category = {
+            ingredient_id: category
+            for ingredient_id, category in zip(spec.ingredient_ids, spec.categories)
+        }
+
+        # Step 2: I0 <- m random ingredients; I <- I - I0.
+        universe = np.asarray(spec.ingredient_ids, dtype=np.int64)
+        picked = rng.choice(universe.size, size=m, replace=False)
+        mask = np.zeros(universe.size, dtype=bool)
+        mask[picked] = True
+        self._pool: list[int] = [int(i) for i in universe[mask]]
+        self._pool_set: set[int] = set(self._pool)
+        self._remaining: list[int] = [int(i) for i in universe[~mask]]
+        self._pool_by_category: dict[Category, list[int]] = {}
+        for ingredient_id in self._pool:
+            self._pool_by_category.setdefault(
+                self._category[ingredient_id], []
+            ).append(ingredient_id)
+
+        # R0 <- n recipes of s̄ distinct pool ingredients each.
+        size = min(spec.recipe_size, len(self._pool))
+        self.recipes: list[list[int]] = []
+        for _ in range(initial_recipes):
+            rows = rng.choice(len(self._pool), size=size, replace=False)
+            self.recipes.append([self._pool[int(row)] for row in rows])
+
+        self.trace = EvolutionTraceCounters()
+
+    # ------------------------------------------------------------------
+    # Bookkeeping accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Current ingredient pool size."""
+        return len(self._pool)
+
+    @property
+    def n(self) -> int:
+        """Current recipe pool size."""
+        return len(self.recipes)
+
+    @property
+    def pool(self) -> tuple[int, ...]:
+        return tuple(self._pool)
+
+    @property
+    def remaining_universe(self) -> tuple[int, ...]:
+        return tuple(self._remaining)
+
+    def pool_ratio(self) -> float:
+        """∂ = m/n (Algorithm 1, line 8)."""
+        return self.m / max(self.n, 1)
+
+    def fitness_of(self, ingredient_id: int) -> float:
+        try:
+            return self._fitness[ingredient_id]
+        except KeyError:
+            raise ModelError(
+                f"ingredient {ingredient_id} is not in this cuisine's universe"
+            ) from None
+
+    def category_of(self, ingredient_id: int) -> Category:
+        try:
+            return self._category[ingredient_id]
+        except KeyError:
+            raise ModelError(
+                f"ingredient {ingredient_id} is not in this cuisine's universe"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Algorithm steps
+    # ------------------------------------------------------------------
+
+    def can_grow_pool(self) -> bool:
+        return bool(self._remaining)
+
+    def grow_pool(self) -> int:
+        """Lines 22-25: move a random universe ingredient into the pool."""
+        if not self._remaining:
+            raise ModelError("ingredient universe is exhausted")
+        row = int(self._rng.integers(0, len(self._remaining)))
+        # O(1) removal: swap with last, pop.
+        ingredient_id = self._remaining[row]
+        self._remaining[row] = self._remaining[-1]
+        self._remaining.pop()
+        self._pool.append(ingredient_id)
+        self._pool_set.add(ingredient_id)
+        self._pool_by_category.setdefault(
+            self._category[ingredient_id], []
+        ).append(ingredient_id)
+        self.trace.ingredients_added += 1
+        return ingredient_id
+
+    def random_recipe_index(self) -> int:
+        return int(self._rng.integers(0, len(self.recipes)))
+
+    def random_pool_ingredient(self) -> int:
+        """Uniform draw from the pool (CM-R's j)."""
+        return self._pool[int(self._rng.integers(0, len(self._pool)))]
+
+    def random_pool_ingredient_of_category(
+        self, category: Category
+    ) -> int | None:
+        """Uniform draw from pool ∩ category (CM-C's j); None if empty."""
+        members = self._pool_by_category.get(category)
+        if not members:
+            return None
+        return members[int(self._rng.integers(0, len(members)))]
+
+    def add_recipe(self, recipe: list[int]) -> None:
+        """Line 19: append a mutated copy to the recipe pool."""
+        if not recipe:
+            raise ModelError("cannot add an empty recipe")
+        self.recipes.append(recipe)
+        self.trace.recipes_added += 1
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def transactions(self) -> list[frozenset[int]]:
+        """Recipe pool as itemset transactions (mining input)."""
+        return [frozenset(recipe) for recipe in self.recipes]

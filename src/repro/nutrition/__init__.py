@@ -1,0 +1,21 @@
+"""Nutrition substrate for the paper's dietary-intervention motivation."""
+
+from repro.nutrition.profiles import (
+    NutrientProfile,
+    NutritionTable,
+    build_nutrition_table,
+)
+from repro.nutrition.scoring import (
+    health_score,
+    ingredient_health_scores,
+    nutrition_fitness,
+)
+
+__all__ = [
+    "NutrientProfile",
+    "NutritionTable",
+    "build_nutrition_table",
+    "health_score",
+    "ingredient_health_scores",
+    "nutrition_fitness",
+]

@@ -1,0 +1,192 @@
+"""Synthetic nutrient profiles per ingredient.
+
+The paper's closing motivation is "dietary interventions for better
+nutrition and health"; exercising that requires per-ingredient nutrition
+data, which (like FlavorDB) is an external database we substitute.  Each
+category gets a realistic macro-nutrient prototype (per 100 g) and each
+ingredient a deterministic perturbation of its category prototype, so
+analyses are stable for a fixed seed and category-level contrasts are
+physiologically sensible (legumes are high-fiber, bakery is high-carb,
+oils are pure fat, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lexicon.categories import Category
+from repro.lexicon.lexicon import Lexicon
+from repro.rng import SeedLike, ensure_rng
+
+__all__ = ["NutrientProfile", "NutritionTable", "build_nutrition_table"]
+
+
+@dataclass(frozen=True)
+class NutrientProfile:
+    """Macro-nutrients per 100 g of an ingredient.
+
+    Attributes:
+        kcal: Energy.
+        protein_g: Protein grams.
+        fat_g: Fat grams.
+        carb_g: Carbohydrate grams.
+        fiber_g: Fiber grams.
+        sugar_g: Sugar grams.
+        sodium_mg: Sodium milligrams.
+    """
+
+    kcal: float
+    protein_g: float
+    fat_g: float
+    carb_g: float
+    fiber_g: float
+    sugar_g: float
+    sodium_mg: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "kcal", "protein_g", "fat_g", "carb_g", "fiber_g", "sugar_g",
+            "sodium_mg",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be >= 0")
+
+    def combined(self, other: "NutrientProfile") -> "NutrientProfile":
+        """Element-wise sum (aggregation across recipe ingredients)."""
+        return NutrientProfile(
+            kcal=self.kcal + other.kcal,
+            protein_g=self.protein_g + other.protein_g,
+            fat_g=self.fat_g + other.fat_g,
+            carb_g=self.carb_g + other.carb_g,
+            fiber_g=self.fiber_g + other.fiber_g,
+            sugar_g=self.sugar_g + other.sugar_g,
+            sodium_mg=self.sodium_mg + other.sodium_mg,
+        )
+
+    def scaled(self, factor: float) -> "NutrientProfile":
+        """Element-wise scaling (e.g. per-ingredient averaging)."""
+        if factor < 0:
+            raise ValueError("factor must be >= 0")
+        return NutrientProfile(
+            kcal=self.kcal * factor,
+            protein_g=self.protein_g * factor,
+            fat_g=self.fat_g * factor,
+            carb_g=self.carb_g * factor,
+            fiber_g=self.fiber_g * factor,
+            sugar_g=self.sugar_g * factor,
+            sodium_mg=self.sodium_mg * factor,
+        )
+
+
+#: Category prototypes per 100 g: (kcal, protein, fat, carb, fiber,
+#: sugar, sodium_mg).  Magnitudes follow standard food-composition
+#: tables at category granularity.
+_CATEGORY_PROTOTYPES: dict[Category, tuple[float, ...]] = {
+    Category.VEGETABLE: (35, 2.0, 0.3, 7.0, 2.8, 3.0, 30),
+    Category.DAIRY: (150, 8.0, 11.0, 5.0, 0.0, 5.0, 120),
+    Category.LEGUME: (120, 8.5, 0.8, 20.0, 7.5, 1.5, 10),
+    Category.MAIZE: (110, 3.2, 1.5, 22.0, 2.5, 3.5, 15),
+    Category.CEREAL: (340, 11.0, 2.5, 70.0, 8.0, 1.0, 5),
+    Category.MEAT: (220, 24.0, 14.0, 0.5, 0.0, 0.0, 80),
+    Category.NUTS_AND_SEEDS: (580, 18.0, 50.0, 18.0, 8.0, 4.0, 10),
+    Category.PLANT: (45, 3.0, 0.5, 8.0, 3.5, 2.0, 40),
+    Category.FISH: (150, 22.0, 7.0, 0.0, 0.0, 0.0, 90),
+    Category.SEAFOOD: (100, 19.0, 2.0, 2.0, 0.0, 0.0, 300),
+    Category.SPICE: (280, 11.0, 7.0, 50.0, 25.0, 3.0, 60),
+    Category.BAKERY: (290, 9.0, 5.0, 52.0, 3.0, 6.0, 450),
+    Category.BEVERAGE_ALCOHOLIC: (220, 0.2, 0.0, 8.0, 0.0, 6.0, 10),
+    Category.BEVERAGE: (40, 0.5, 0.2, 9.5, 0.2, 8.5, 15),
+    Category.ESSENTIAL_OIL: (880, 0.0, 100.0, 0.0, 0.0, 0.0, 2),
+    Category.FLOWER: (30, 1.5, 0.3, 6.0, 2.0, 2.5, 10),
+    Category.FRUIT: (60, 0.8, 0.3, 15.0, 2.5, 11.0, 2),
+    Category.FUNGUS: (28, 3.1, 0.3, 4.3, 1.5, 1.7, 5),
+    Category.HERB: (40, 3.0, 0.8, 7.0, 3.5, 1.0, 25),
+    Category.ADDITIVE: (330, 1.0, 3.0, 75.0, 0.5, 55.0, 800),
+    Category.DISH: (180, 7.0, 8.0, 20.0, 2.0, 4.0, 500),
+}
+
+#: Relative per-ingredient variation around the prototype.
+_VARIATION = 0.25
+
+
+class NutritionTable:
+    """Per-ingredient nutrient profiles for one lexicon."""
+
+    def __init__(self, profiles: dict[int, NutrientProfile]):
+        self._profiles = dict(profiles)
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __contains__(self, ingredient_id: int) -> bool:
+        return ingredient_id in self._profiles
+
+    def profile_of(self, ingredient_id: int) -> NutrientProfile:
+        """Profile of an ingredient.
+
+        Raises:
+            KeyError: For ids missing from the table.
+        """
+        return self._profiles[ingredient_id]
+
+    def recipe_profile(self, ingredient_ids) -> NutrientProfile:
+        """Mean per-ingredient profile of a recipe.
+
+        Treats each ingredient as contributing an equal 100 g basis —
+        the right granularity for corpus-level contrasts (real serving
+        weights are unavailable, as in the source data).
+        """
+        ids = list(ingredient_ids)
+        if not ids:
+            raise ValueError("recipe has no ingredients")
+        total = self._profiles[ids[0]]
+        for ingredient_id in ids[1:]:
+            total = total.combined(self._profiles[ingredient_id])
+        return total.scaled(1.0 / len(ids))
+
+
+def build_nutrition_table(
+    lexicon: Lexicon, seed: SeedLike = 13
+) -> NutritionTable:
+    """Deterministic synthetic nutrition table for a lexicon.
+
+    Compound ingredients average their components' profiles (nested
+    compounds resolve recursively); simple ingredients perturb their
+    category prototype by ±25% per nutrient.
+    """
+    rng = ensure_rng(seed)
+    profiles: dict[int, NutrientProfile] = {}
+
+    for ingredient in sorted(
+        lexicon.simple_ingredients, key=lambda i: i.ingredient_id
+    ):
+        base = np.array(_CATEGORY_PROTOTYPES[ingredient.category])
+        noise = rng.uniform(1 - _VARIATION, 1 + _VARIATION, size=base.size)
+        values = base * noise
+        profiles[ingredient.ingredient_id] = NutrientProfile(*values)
+
+    def resolve_compound(name: str, depth: int = 0) -> NutrientProfile:
+        ingredient = lexicon.by_name(name)
+        existing = profiles.get(ingredient.ingredient_id)
+        if existing is not None:
+            return existing
+        if depth > 5:  # defensive: seed data nests at most one level
+            prototype = _CATEGORY_PROTOTYPES[ingredient.category]
+            return NutrientProfile(*prototype)
+        component_profiles = [
+            resolve_compound(component, depth + 1)
+            for component in ingredient.components
+        ]
+        total = component_profiles[0]
+        for profile in component_profiles[1:]:
+            total = total.combined(profile)
+        result = total.scaled(1.0 / len(component_profiles))
+        profiles[ingredient.ingredient_id] = result
+        return result
+
+    for compound in lexicon.compound_ingredients:
+        resolve_compound(compound.name)
+
+    return NutritionTable(profiles)

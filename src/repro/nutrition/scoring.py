@@ -1,0 +1,90 @@
+"""Health scoring and nutrition-derived model fitness.
+
+Converts :class:`~repro.nutrition.profiles.NutrientProfile` values into
+a scalar health score in [0, 1] (a nutrient-density heuristic: reward
+protein and fiber, penalize sugar, sodium and energy density) and wraps
+per-ingredient scores as a :class:`~repro.models.fitness.ScoredFitness`
+so the Sec. V machinery can run dietary interventions directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lexicon.lexicon import Lexicon
+from repro.models.fitness import ScoredFitness
+from repro.nutrition.profiles import NutrientProfile, NutritionTable
+
+__all__ = ["health_score", "ingredient_health_scores", "nutrition_fitness"]
+
+#: Normalization scales: roughly the 95th percentile of each nutrient
+#: across the synthetic table, so components land in [0, 1].
+_SCALES = {
+    "kcal": 700.0,
+    "protein_g": 30.0,
+    "fiber_g": 12.0,
+    "sugar_g": 60.0,
+    "sodium_mg": 900.0,
+}
+
+#: Component weights of the density heuristic (sum of |weights| = 1).
+_WEIGHTS = {
+    "protein": 0.25,
+    "fiber": 0.25,
+    "energy": -0.20,
+    "sugar": -0.15,
+    "sodium": -0.15,
+}
+
+
+def health_score(profile: NutrientProfile) -> float:
+    """Scalar health score in [0, 1]; higher = healthier.
+
+    A transparent nutrient-density heuristic, not a clinical index:
+    ``0.5 + protein + fiber - energy - sugar - sodium`` with each
+    component normalized to [0, 1] and weighted per ``_WEIGHTS``.
+    """
+    protein = min(profile.protein_g / _SCALES["protein_g"], 1.0)
+    fiber = min(profile.fiber_g / _SCALES["fiber_g"], 1.0)
+    energy = min(profile.kcal / _SCALES["kcal"], 1.0)
+    sugar = min(profile.sugar_g / _SCALES["sugar_g"], 1.0)
+    sodium = min(profile.sodium_mg / _SCALES["sodium_mg"], 1.0)
+    raw = (
+        0.5
+        + _WEIGHTS["protein"] * protein
+        + _WEIGHTS["fiber"] * fiber
+        + _WEIGHTS["energy"] * energy
+        + _WEIGHTS["sugar"] * sugar
+        + _WEIGHTS["sodium"] * sodium
+    )
+    return float(np.clip(raw, 0.0, 1.0))
+
+
+def ingredient_health_scores(
+    lexicon: Lexicon, table: NutritionTable
+) -> dict[int, float]:
+    """Health score for every lexicon entity present in the table."""
+    return {
+        ingredient.ingredient_id: health_score(
+            table.profile_of(ingredient.ingredient_id)
+        )
+        for ingredient in lexicon
+        if ingredient.ingredient_id in table
+    }
+
+
+def nutrition_fitness(
+    lexicon: Lexicon,
+    table: NutritionTable,
+    jitter: float = 0.05,
+) -> ScoredFitness:
+    """A :class:`ScoredFitness` driven by nutrition (dietary intervention).
+
+    Args:
+        lexicon: Lexicon whose ingredients are scored.
+        table: Nutrition table to score from.
+        jitter: Tie-breaking noise (fitness comparisons are strict).
+    """
+    return ScoredFitness(
+        scores=ingredient_health_scores(lexicon, table), jitter=jitter
+    )

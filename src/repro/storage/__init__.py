@@ -1,0 +1,22 @@
+"""Indexed recipe storage: inverted indexes, stores and conjunctive queries."""
+
+from repro.storage.inverted_index import InvertedIndex, intersect_postings
+from repro.storage.query import (
+    Clause,
+    HasCategory,
+    HasIngredient,
+    Query,
+    SizeBetween,
+)
+from repro.storage.store import RecipeStore
+
+__all__ = [
+    "InvertedIndex",
+    "intersect_postings",
+    "Clause",
+    "HasCategory",
+    "HasIngredient",
+    "Query",
+    "SizeBetween",
+    "RecipeStore",
+]

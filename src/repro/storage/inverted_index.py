@@ -1,0 +1,123 @@
+"""Inverted index over recipes: ingredient id -> posting list of recipes.
+
+The analytics in Secs. III-IV are support-counting problems ("how many
+recipes of cuisine X contain ingredient set S?").  An inverted index with
+sorted integer posting lists answers these with k-way intersections — the
+same structure a search engine or an Eclat miner uses — and is the
+workhorse beneath :mod:`repro.storage.store` and
+:mod:`repro.analysis.itemsets`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.corpus.recipe import Recipe
+
+__all__ = ["InvertedIndex", "intersect_postings"]
+
+
+def intersect_postings(postings: Sequence[np.ndarray]) -> np.ndarray:
+    """Intersect sorted integer posting arrays, smallest-first.
+
+    Args:
+        postings: Sorted, duplicate-free ``int64`` arrays.
+
+    Returns:
+        The sorted intersection; empty array when ``postings`` is empty.
+    """
+    if not postings:
+        return np.empty(0, dtype=np.int64)
+    ordered = sorted(postings, key=len)
+    result = ordered[0]
+    for other in ordered[1:]:
+        if result.size == 0:
+            break
+        # np.isin on sorted unique inputs is the fastest pure-numpy path.
+        result = result[np.isin(result, other, assume_unique=True)]
+    return result
+
+
+class InvertedIndex:
+    """Immutable ingredient -> recipe-row index for one recipe collection.
+
+    Rows are positions in the build-time recipe sequence, not recipe ids;
+    this keeps posting lists dense and intersection-friendly.  Use
+    :meth:`recipe_at` to map a row back to its :class:`Recipe`.
+    """
+
+    def __init__(self, recipes: Sequence[Recipe]):
+        self._recipes = tuple(recipes)
+        buckets: dict[int, list[int]] = {}
+        for row, recipe in enumerate(self._recipes):
+            for ingredient_id in recipe.ingredient_ids:
+                buckets.setdefault(ingredient_id, []).append(row)
+        self._postings: dict[int, np.ndarray] = {
+            ingredient_id: np.asarray(rows, dtype=np.int64)
+            for ingredient_id, rows in buckets.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._recipes)
+
+    @property
+    def n_recipes(self) -> int:
+        return len(self._recipes)
+
+    @property
+    def vocabulary(self) -> tuple[int, ...]:
+        """Sorted ingredient ids present in the collection."""
+        return tuple(sorted(self._postings))
+
+    def recipe_at(self, row: int) -> Recipe:
+        """The recipe stored at ``row``."""
+        return self._recipes[row]
+
+    def __iter__(self) -> Iterator[Recipe]:
+        return iter(self._recipes)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def postings(self, ingredient_id: int) -> np.ndarray:
+        """Sorted rows of recipes containing ``ingredient_id``.
+
+        Returns an empty array for unseen ingredients.  The returned
+        array is shared — treat it as read-only.
+        """
+        return self._postings.get(ingredient_id, np.empty(0, dtype=np.int64))
+
+    def document_frequency(self, ingredient_id: int) -> int:
+        """Number of recipes containing the ingredient."""
+        return int(self.postings(ingredient_id).size)
+
+    def support(self, ingredient_ids: Iterable[int]) -> int:
+        """Number of recipes containing *all* of ``ingredient_ids``.
+
+        An empty itemset is contained in every recipe.
+        """
+        ids = list(ingredient_ids)
+        if not ids:
+            return self.n_recipes
+        return int(self.rows_containing(ids).size)
+
+    def rows_containing(self, ingredient_ids: Iterable[int]) -> np.ndarray:
+        """Rows of recipes containing all given ingredients."""
+        ids = list(ingredient_ids)
+        if not ids:
+            return np.arange(self.n_recipes, dtype=np.int64)
+        return intersect_postings([self.postings(i) for i in ids])
+
+    def document_frequencies(self) -> dict[int, int]:
+        """ingredient id -> recipe count, for all ingredients."""
+        return {
+            ingredient_id: int(rows.size)
+            for ingredient_id, rows in self._postings.items()
+        }

@@ -1,0 +1,140 @@
+"""A small conjunctive query layer over :class:`RecipeStore`.
+
+Queries are conjunctions of clauses over a cuisine (or the whole corpus):
+
+* ``HasIngredient(name_or_id)`` — recipe contains the ingredient;
+* ``HasCategory(category)`` — recipe contains any ingredient of the
+  category;
+* ``SizeBetween(lo, hi)`` — recipe size within bounds (inclusive).
+
+Name resolution goes through the lexicon's aliasing protocol, so
+``HasIngredient("soy sauce")`` finds "soybean sauce" recipes.  This layer
+powers the CLI's ad-hoc inspection commands and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.corpus.recipe import Recipe
+from repro.errors import QueryError
+from repro.lexicon.categories import Category, parse_category
+from repro.storage.inverted_index import InvertedIndex, intersect_postings
+from repro.storage.store import RecipeStore
+
+__all__ = ["HasIngredient", "HasCategory", "SizeBetween", "Query", "Clause"]
+
+
+@dataclass(frozen=True)
+class HasIngredient:
+    """Clause: the recipe contains this ingredient (name or id)."""
+
+    ingredient: Union[str, int]
+
+
+@dataclass(frozen=True)
+class HasCategory:
+    """Clause: the recipe contains >= 1 ingredient of this category."""
+
+    category: Union[str, Category]
+
+
+@dataclass(frozen=True)
+class SizeBetween:
+    """Clause: ``lo <= recipe.size <= hi``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 1 or self.hi < self.lo:
+            raise QueryError(f"invalid size bounds [{self.lo}, {self.hi}]")
+
+
+Clause = Union[HasIngredient, HasCategory, SizeBetween]
+
+
+class Query:
+    """A conjunctive query executable against a :class:`RecipeStore`."""
+
+    def __init__(self, clauses: Sequence[Clause]):
+        if not clauses:
+            raise QueryError("query must have at least one clause")
+        self._clauses = tuple(clauses)
+
+    @property
+    def clauses(self) -> tuple[Clause, ...]:
+        return self._clauses
+
+    def _resolve_ingredient_id(self, store: RecipeStore, clause: HasIngredient) -> int:
+        if isinstance(clause.ingredient, int):
+            return clause.ingredient
+        resolution = store.lexicon.resolve(clause.ingredient)
+        if resolution.ingredient is None:
+            raise QueryError(
+                f"cannot resolve ingredient {clause.ingredient!r} against "
+                "the lexicon"
+            )
+        return resolution.ingredient.ingredient_id
+
+    def _rows(self, store: RecipeStore, index: InvertedIndex) -> np.ndarray:
+        postings: list[np.ndarray] = []
+        row_filters: list[np.ndarray] = []
+
+        for clause in self._clauses:
+            if isinstance(clause, HasIngredient):
+                ingredient_id = self._resolve_ingredient_id(store, clause)
+                postings.append(index.postings(ingredient_id))
+            elif isinstance(clause, HasCategory):
+                category = parse_category(clause.category)
+                members = [
+                    i.ingredient_id
+                    for i in store.lexicon.by_category(category)
+                ]
+                union: np.ndarray = np.unique(
+                    np.concatenate(
+                        [index.postings(m) for m in members]
+                        or [np.empty(0, dtype=np.int64)]
+                    )
+                )
+                postings.append(union)
+            elif isinstance(clause, SizeBetween):
+                mask_rows = np.array(
+                    [
+                        row
+                        for row in range(index.n_recipes)
+                        if clause.lo <= index.recipe_at(row).size <= clause.hi
+                    ],
+                    dtype=np.int64,
+                )
+                row_filters.append(mask_rows)
+            else:  # pragma: no cover - defensive
+                raise QueryError(f"unknown clause type {type(clause).__name__}")
+
+        all_postings = postings + row_filters
+        if not all_postings:
+            return np.arange(index.n_recipes, dtype=np.int64)
+        return intersect_postings(all_postings)
+
+    def execute(
+        self, store: RecipeStore, region_code: str | None = None
+    ) -> list[Recipe]:
+        """Run the query; returns matching recipes in stored order."""
+        index = (
+            store.global_index
+            if region_code is None
+            else store.cuisine_index(region_code)
+        )
+        return [index.recipe_at(int(row)) for row in self._rows(store, index)]
+
+    def count(self, store: RecipeStore, region_code: str | None = None) -> int:
+        """Number of matching recipes (no materialization)."""
+        index = (
+            store.global_index
+            if region_code is None
+            else store.cuisine_index(region_code)
+        )
+        return int(self._rows(store, index).size)

@@ -1,0 +1,184 @@
+"""Indexed recipe store.
+
+Combines per-cuisine inverted indexes with the lexicon's category map to
+answer the query shapes the paper's analyses need (supports, document
+frequencies, category projections) without rescanning recipes.  Built
+once per dataset and shared by the analysis modules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.corpus.dataset import CuisineView, RecipeDataset
+from repro.errors import StorageError
+from repro.lexicon.categories import Category
+from repro.lexicon.lexicon import Lexicon
+from repro.storage.inverted_index import InvertedIndex
+
+__all__ = ["RecipeStore"]
+
+
+class RecipeStore:
+    """A dataset wrapped with per-cuisine and global indexes.
+
+    Args:
+        dataset: The standardized recipe corpus.
+        lexicon: Lexicon providing the category map.  Recipes may only
+            reference ids present in the lexicon.
+    """
+
+    def __init__(self, dataset: RecipeDataset, lexicon: Lexicon):
+        self._dataset = dataset
+        self._lexicon = lexicon
+        known = set(lexicon.ids)
+        for recipe in dataset:
+            unknown = [i for i in recipe.ingredient_ids if i not in known]
+            if unknown:
+                raise StorageError(
+                    f"recipe {recipe.recipe_id} references ids not in the "
+                    f"lexicon: {unknown[:5]}"
+                )
+        self._global_index = InvertedIndex(dataset.recipes)
+        self._cuisine_indexes: dict[str, InvertedIndex] = {
+            code: InvertedIndex(view.recipes)
+            for code, view in dataset.cuisines().items()
+        }
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def dataset(self) -> RecipeDataset:
+        return self._dataset
+
+    @property
+    def lexicon(self) -> Lexicon:
+        return self._lexicon
+
+    @property
+    def global_index(self) -> InvertedIndex:
+        return self._global_index
+
+    def region_codes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._cuisine_indexes))
+
+    def cuisine_index(self, region_code: str) -> InvertedIndex:
+        """The inverted index for one cuisine.
+
+        Raises:
+            StorageError: If the cuisine has no recipes in this store.
+        """
+        index = self._cuisine_indexes.get(region_code)
+        if index is None:
+            raise StorageError(f"no recipes stored for cuisine {region_code!r}")
+        return index
+
+    def cuisine_view(self, region_code: str) -> CuisineView:
+        return self._dataset.cuisine(region_code)
+
+    # ------------------------------------------------------------------
+    # Support queries
+    # ------------------------------------------------------------------
+
+    def support(
+        self, ingredient_ids: Iterable[int], region_code: str | None = None
+    ) -> int:
+        """Recipes containing all the given ingredients.
+
+        Args:
+            ingredient_ids: The conjunctive itemset.
+            region_code: Restrict to one cuisine; ``None`` = whole corpus.
+        """
+        index = (
+            self._global_index
+            if region_code is None
+            else self.cuisine_index(region_code)
+        )
+        return index.support(ingredient_ids)
+
+    def relative_support(
+        self, ingredient_ids: Iterable[int], region_code: str | None = None
+    ) -> float:
+        """Support as a fraction of the (cuisine's) recipe count."""
+        index = (
+            self._global_index
+            if region_code is None
+            else self.cuisine_index(region_code)
+        )
+        if index.n_recipes == 0:
+            return 0.0
+        return index.support(ingredient_ids) / index.n_recipes
+
+    # ------------------------------------------------------------------
+    # Category projections
+    # ------------------------------------------------------------------
+
+    def category_of(self, ingredient_id: int) -> Category:
+        return self._lexicon.category_of(ingredient_id)
+
+    def project_to_categories(
+        self, ingredient_ids: Iterable[int]
+    ) -> frozenset[Category]:
+        """Distinct categories of an ingredient id collection."""
+        return frozenset(
+            self._lexicon.category_of(ingredient_id)
+            for ingredient_id in ingredient_ids
+        )
+
+    def category_vector(self, ingredient_ids: Iterable[int]) -> dict[Category, int]:
+        """Category -> count of ingredients from that category."""
+        vector: dict[Category, int] = {}
+        for ingredient_id in ingredient_ids:
+            category = self._lexicon.category_of(ingredient_id)
+            vector[category] = vector.get(category, 0) + 1
+        return vector
+
+    # ------------------------------------------------------------------
+    # Co-occurrence
+    # ------------------------------------------------------------------
+
+    def cooccurrence(
+        self, ingredient_id: int, region_code: str | None = None
+    ) -> dict[int, int]:
+        """Recipes shared with every co-occurring ingredient.
+
+        Args:
+            ingredient_id: Anchor ingredient.
+            region_code: Restrict to one cuisine; ``None`` = whole corpus.
+
+        Returns:
+            other ingredient id -> number of recipes containing both.
+        """
+        index = (
+            self._global_index
+            if region_code is None
+            else self.cuisine_index(region_code)
+        )
+        counts: dict[int, int] = {}
+        for row in index.postings(ingredient_id):
+            for other in index.recipe_at(int(row)).ingredient_ids:
+                if other != ingredient_id:
+                    counts[other] = counts.get(other, 0) + 1
+        return counts
+
+    def top_cooccurring(
+        self,
+        ingredient_id: int,
+        k: int = 10,
+        region_code: str | None = None,
+    ) -> list[tuple[int, int]]:
+        """The ``k`` strongest co-occurrence partners, by shared recipes.
+
+        Deterministic ordering: count descending, id ascending.
+        """
+        counts = self.cooccurrence(ingredient_id, region_code=region_code)
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:k]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RecipeStore({len(self._dataset)} recipes, "
+            f"{len(self._cuisine_indexes)} cuisines)"
+        )

@@ -1,0 +1,43 @@
+"""Synthetic corpus generation (the data substitution; DESIGN.md §2)."""
+
+from repro.synthesis.archetypes import (
+    ARCHETYPES,
+    REGION_PROFILES,
+    CuisineProfile,
+    DishArchetype,
+    validate_archetypes,
+)
+from repro.synthesis.calibration import (
+    CalibrationSummary,
+    RegionCalibration,
+    check_calibration,
+)
+from repro.synthesis.noise import MentionRenderer
+from repro.synthesis.popularity import (
+    gumbel_topk,
+    truncated_normal_sizes,
+    zipf_weights,
+)
+from repro.synthesis.worldgen import (
+    CuisineBlueprint,
+    WorldKitchen,
+    generate_world_corpus,
+)
+
+__all__ = [
+    "ARCHETYPES",
+    "REGION_PROFILES",
+    "CuisineProfile",
+    "DishArchetype",
+    "validate_archetypes",
+    "CalibrationSummary",
+    "RegionCalibration",
+    "check_calibration",
+    "MentionRenderer",
+    "gumbel_topk",
+    "truncated_normal_sizes",
+    "zipf_weights",
+    "CuisineBlueprint",
+    "WorldKitchen",
+    "generate_world_corpus",
+]

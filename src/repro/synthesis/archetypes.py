@@ -1,0 +1,661 @@
+"""Dish archetypes and cuisine profiles for the WorldKitchen generator.
+
+A *dish archetype* is a latent recipe template: a set of core ingredients
+that strongly co-occur (flour + butter + sugar + egg in baked goods) plus
+category multipliers shaping the rest of the draw.  A *cuisine profile*
+mixes archetypes with region-specific weights and category emphasis, and
+carries the region's signature (Table I overrepresented) boosts.
+
+Archetype cores only reference lexicon names listed in
+``repro.lexicon._seed_data.PROTECTED_NAMES`` so they survive lexicon
+trimming; :func:`validate_archetypes` enforces this against a concrete
+lexicon and is exercised by the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.regions import ALL_REGION_CODES
+from repro.errors import SynthesisError
+from repro.lexicon.lexicon import Lexicon
+
+__all__ = [
+    "DishArchetype",
+    "CuisineProfile",
+    "ARCHETYPES",
+    "REGION_PROFILES",
+    "validate_archetypes",
+]
+
+
+@dataclass(frozen=True)
+class DishArchetype:
+    """A latent recipe template.
+
+    Attributes:
+        key: Stable identifier.
+        title: Human-readable template used for generated recipe titles.
+        core: ``(ingredient name, popularity boost)`` pairs; boosts
+            multiply the cuisine's base popularity inside this archetype,
+            creating the co-occurring cores behind Fig. 3's frequent
+            combinations.
+        category_multipliers: ``(category value, multiplier)`` pairs
+            reshaping the non-core part of the draw.
+        size_shift: Added to the cuisine's mean recipe size when drawing
+            sizes for this archetype.
+    """
+
+    key: str
+    title: str
+    core: tuple[tuple[str, float], ...]
+    category_multipliers: tuple[tuple[str, float], ...] = ()
+    size_shift: float = 0.0
+
+
+@dataclass(frozen=True)
+class CuisineProfile:
+    """Generator profile for one region.
+
+    Attributes:
+        region_code: Table I region code.
+        archetype_weights: ``(archetype key, weight)`` mixing proportions.
+        category_emphasis: ``(category value, multiplier)`` pairs; applied
+            both to vocabulary selection and to base popularity, producing
+            the Fig. 2 category-usage signatures.
+        signature_boost: Popularity multiplier for the region's Table I
+            overrepresented ingredients.
+        zipf_exponent: Exponent of the base popularity distribution.
+        size_mean: Mean recipe size for this cuisine.
+        size_sigma: Recipe size standard deviation.
+    """
+
+    region_code: str
+    archetype_weights: tuple[tuple[str, float], ...]
+    category_emphasis: tuple[tuple[str, float], ...] = ()
+    signature_boost: float = 6.0
+    zipf_exponent: float = 0.9
+    size_mean: float = 9.0
+    size_sigma: float = 3.2
+
+
+ARCHETYPES: dict[str, DishArchetype] = {
+    archetype.key: archetype
+    for archetype in (
+        DishArchetype(
+            "baked_good", "Bakes and Cakes",
+            core=(("flour", 18.0), ("butter", 16.0), ("sugar", 16.0),
+                  ("egg", 14.0), ("baking powder", 8.0), ("vanilla", 7.0),
+                  ("milk", 7.0), ("baking soda", 4.0), ("brown sugar", 3.5),
+                  ("cinnamon", 3.0)),
+            category_multipliers=(("Dairy", 2.0), ("Additive", 1.8),
+                                  ("Bakery", 1.2), ("Fruit", 1.1),
+                                  ("Meat", 0.2), ("Fish", 0.05),
+                                  ("Seafood", 0.05), ("Vegetable", 0.3)),
+            size_shift=-0.5,
+        ),
+        DishArchetype(
+            "bread", "Breads",
+            core=(("flour", 20.0), ("yeast", 12.0), ("water", 10.0),
+                  ("salt", 9.0), ("olive oil", 4.0), ("sugar", 3.0)),
+            category_multipliers=(("Bakery", 1.5), ("Cereal", 1.6),
+                                  ("Meat", 0.2), ("Fish", 0.1)),
+            size_shift=-2.5,
+        ),
+        DishArchetype(
+            "curry", "Curries",
+            core=(("onion", 14.0), ("garlic", 12.0), ("ginger", 11.0),
+                  ("turmeric", 10.0), ("cumin", 10.0), ("coriander", 8.0),
+                  ("garam masala", 8.0), ("tomato", 7.0),
+                  ("chili pepper", 6.0), ("ghee", 4.0), ("cilantro", 5.0),
+                  ("cayenne", 5.0)),
+            category_multipliers=(("Spice", 2.8), ("Vegetable", 1.4),
+                                  ("Legume", 1.3), ("Dairy", 0.8),
+                                  ("Bakery", 0.2)),
+            size_shift=2.0,
+        ),
+        DishArchetype(
+            "dal", "Lentil Stews",
+            core=(("lentil", 16.0), ("turmeric", 10.0), ("cumin", 9.0),
+                  ("mustard seed", 7.0), ("curry leaf", 6.0), ("ghee", 5.0),
+                  ("onion", 6.0), ("garlic", 5.0), ("asafoetida", 3.0)),
+            category_multipliers=(("Legume", 3.0), ("Spice", 2.4),
+                                  ("Meat", 0.1), ("Bakery", 0.1)),
+        ),
+        DishArchetype(
+            "stir_fry", "Stir-Fries",
+            core=(("soybean sauce", 15.0), ("garlic", 12.0), ("ginger", 10.0),
+                  ("scallion", 9.0), ("sesame oil", 7.0),
+                  ("vegetable oil", 6.0), ("sesame", 5.0), ("corn starch", 4.0)),
+            category_multipliers=(("Vegetable", 2.2), ("Meat", 1.2),
+                                  ("Dairy", 0.1), ("Bakery", 0.1)),
+        ),
+        DishArchetype(
+            "rice_dish", "Rice Dishes",
+            core=(("rice", 18.0), ("onion", 8.0), ("garlic", 7.0),
+                  ("egg", 5.0), ("scallion", 5.0), ("pea", 4.0),
+                  ("carrot", 4.0)),
+            category_multipliers=(("Cereal", 1.6), ("Vegetable", 1.5),
+                                  ("Bakery", 0.2)),
+        ),
+        DishArchetype(
+            "noodle_soup", "Noodle Bowls",
+            core=(("noodle", 15.0), ("scallion", 9.0), ("ginger", 8.0),
+                  ("soybean sauce", 8.0), ("garlic", 7.0),
+                  ("chicken broth", 6.0), ("sesame oil", 5.0)),
+            category_multipliers=(("Cereal", 1.4), ("Vegetable", 1.5),
+                                  ("Dairy", 0.1)),
+        ),
+        DishArchetype(
+            "sushi", "Sushi and Sashimi",
+            core=(("rice", 14.0), ("nori", 12.0), ("rice vinegar", 10.0),
+                  ("soybean sauce", 8.0), ("wasabi", 7.0), ("salmon", 6.0),
+                  ("sesame", 5.0), ("tuna", 4.0), ("cucumber", 4.0),
+                  ("sake", 3.5), ("mirin", 3.5)),
+            category_multipliers=(("Fish", 2.5), ("Seafood", 1.8),
+                                  ("Dairy", 0.05), ("Spice", 0.5)),
+            size_shift=-1.0,
+        ),
+        DishArchetype(
+            "soup", "Soups",
+            core=(("onion", 12.0), ("carrot", 10.0), ("celery", 9.0),
+                  ("chicken broth", 8.0), ("salt", 6.0), ("pepper", 6.0),
+                  ("bay leaf", 4.0), ("butter", 3.0)),
+            category_multipliers=(("Vegetable", 2.0), ("Herb", 1.4)),
+        ),
+        DishArchetype(
+            "stew", "Stews and Braises",
+            core=(("beef", 12.0), ("onion", 11.0), ("potato", 9.0),
+                  ("carrot", 8.0), ("red wine", 5.0), ("thyme", 5.0),
+                  ("bay leaf", 4.0), ("tomato paste", 4.0), ("flour", 3.0)),
+            category_multipliers=(("Meat", 1.8), ("Vegetable", 1.7),
+                                  ("Herb", 1.3)),
+            size_shift=1.5,
+        ),
+        DishArchetype(
+            "salad", "Salads",
+            core=(("lettuce", 10.0), ("tomato", 10.0), ("cucumber", 9.0),
+                  ("olive oil", 9.0), ("lemon juice", 7.0), ("onion", 5.0),
+                  ("feta cheese", 4.0), ("vinegar", 4.0)),
+            category_multipliers=(("Vegetable", 2.4), ("Herb", 1.5),
+                                  ("Fruit", 1.3), ("Bakery", 0.2),
+                                  ("Meat", 0.4)),
+            size_shift=-1.0,
+        ),
+        DishArchetype(
+            "pasta_dish", "Pasta",
+            core=(("pasta", 12.0), ("spaghetti", 8.0), ("olive oil", 11.0),
+                  ("garlic", 10.0), ("tomato", 9.0),
+                  ("parmesan cheese", 8.0), ("basil", 7.0), ("onion", 5.0),
+                  ("oregano", 4.0)),
+            category_multipliers=(("Cereal", 1.5), ("Dairy", 1.3),
+                                  ("Herb", 1.5), ("Vegetable", 1.3)),
+        ),
+        DishArchetype(
+            "pizza_flatbread", "Pizzas and Flatbreads",
+            core=(("flour", 10.0), ("tomato sauce", 9.0),
+                  ("mozzarella cheese", 10.0), ("olive oil", 8.0),
+                  ("oregano", 6.0), ("basil", 5.0), ("yeast", 4.0),
+                  ("garlic", 4.0)),
+            category_multipliers=(("Dairy", 1.6), ("Bakery", 1.4),
+                                  ("Vegetable", 1.3)),
+            size_shift=-0.5,
+        ),
+        DishArchetype(
+            "taco", "Tacos and Antojitos",
+            core=(("tortilla", 15.0), ("cilantro", 10.0), ("lime", 9.0),
+                  ("onion", 8.0), ("cumin", 7.0), ("chili powder", 6.0),
+                  ("jalapeno", 6.0), ("black bean", 5.0), ("tomato", 5.0),
+                  ("avocado", 4.0), ("cheddar cheese", 3.0)),
+            category_multipliers=(("Vegetable", 1.6), ("Spice", 1.5),
+                                  ("Legume", 1.4), ("Maize", 2.0)),
+        ),
+        DishArchetype(
+            "salsa_dip", "Salsas and Dips",
+            core=(("tomato", 12.0), ("onion", 10.0), ("cilantro", 10.0),
+                  ("lime juice", 8.0), ("jalapeno", 7.0), ("garlic", 5.0),
+                  ("salt", 4.0)),
+            category_multipliers=(("Vegetable", 2.2), ("Herb", 1.5),
+                                  ("Meat", 0.2), ("Dairy", 0.4)),
+            size_shift=-2.0,
+        ),
+        DishArchetype(
+            "grill_bbq", "Grills and Barbecue",
+            core=(("beef", 10.0), ("chicken", 9.0), ("paprika", 8.0),
+                  ("garlic powder", 7.0), ("onion powder", 6.0),
+                  ("barbecue sauce", 6.0), ("brown sugar", 5.0),
+                  ("pepper", 5.0), ("salt", 5.0)),
+            category_multipliers=(("Meat", 2.4), ("Spice", 1.6),
+                                  ("Dairy", 0.4)),
+        ),
+        DishArchetype(
+            "roast", "Roasts",
+            core=(("chicken", 11.0), ("butter", 8.0), ("rosemary", 7.0),
+                  ("thyme", 7.0), ("garlic", 8.0), ("lemon", 6.0),
+                  ("olive oil", 6.0), ("potato", 5.0)),
+            category_multipliers=(("Meat", 2.0), ("Herb", 1.6),
+                                  ("Vegetable", 1.3)),
+        ),
+        DishArchetype(
+            "seafood_dish", "Seafood Plates",
+            core=(("fish", 11.0), ("shrimp", 9.0), ("lemon", 8.0),
+                  ("garlic", 8.0), ("butter", 7.0), ("parsley", 6.0),
+                  ("white wine", 5.0), ("olive oil", 5.0)),
+            category_multipliers=(("Fish", 2.4), ("Seafood", 2.2),
+                                  ("Herb", 1.3), ("Dairy", 0.7)),
+        ),
+        DishArchetype(
+            "ceviche", "Ceviches and Citrus-Cured Fish",
+            core=(("fish", 12.0), ("lime", 11.0), ("cilantro", 9.0),
+                  ("onion", 8.0), ("chili pepper", 7.0), ("tomato", 5.0)),
+            category_multipliers=(("Fish", 2.4), ("Seafood", 1.8),
+                                  ("Fruit", 1.4), ("Dairy", 0.1)),
+            size_shift=-1.5,
+        ),
+        DishArchetype(
+            "dessert_custard", "Custards and Creams",
+            core=(("milk", 12.0), ("cream", 11.0), ("sugar", 12.0),
+                  ("egg", 10.0), ("vanilla", 9.0), ("cinnamon", 4.0),
+                  ("butter", 4.0)),
+            category_multipliers=(("Dairy", 2.6), ("Additive", 1.7),
+                                  ("Vegetable", 0.2), ("Meat", 0.1),
+                                  ("Fish", 0.02)),
+            size_shift=-1.5,
+        ),
+        DishArchetype(
+            "pie_pastry", "Pies and Pastry",
+            core=(("pie crust", 10.0), ("butter", 12.0), ("flour", 11.0),
+                  ("sugar", 10.0), ("apple", 6.0), ("cinnamon", 6.0),
+                  ("egg", 5.0), ("vanilla", 4.0)),
+            category_multipliers=(("Dairy", 1.8), ("Fruit", 1.6),
+                                  ("Bakery", 1.5), ("Meat", 0.3)),
+        ),
+        DishArchetype(
+            "pancake_breakfast", "Pancakes and Breakfast Griddle",
+            core=(("flour", 13.0), ("egg", 11.0), ("milk", 10.0),
+                  ("butter", 9.0), ("maple syrup", 6.0),
+                  ("baking powder", 6.0), ("sugar", 5.0)),
+            category_multipliers=(("Dairy", 2.0), ("Additive", 1.5),
+                                  ("Bakery", 1.2), ("Fish", 0.05)),
+            size_shift=-1.0,
+        ),
+        DishArchetype(
+            "sandwich", "Sandwiches",
+            core=(("bread", 13.0), ("butter", 8.0), ("cheddar cheese", 7.0),
+                  ("ham", 6.0), ("lettuce", 6.0), ("mayonnaise", 6.0),
+                  ("mustard", 5.0), ("tomato", 5.0)),
+            category_multipliers=(("Bakery", 2.0), ("Meat", 1.4),
+                                  ("Dairy", 1.3)),
+            size_shift=-1.0,
+        ),
+        DishArchetype(
+            "dumpling", "Dumplings",
+            core=(("flour", 10.0), ("pork", 9.0), ("scallion", 8.0),
+                  ("ginger", 8.0), ("soybean sauce", 8.0),
+                  ("sesame oil", 6.0), ("cabbage", 6.0), ("garlic", 5.0)),
+            category_multipliers=(("Meat", 1.5), ("Vegetable", 1.5),
+                                  ("Dairy", 0.1)),
+        ),
+        DishArchetype(
+            "kebab_grill", "Kebabs",
+            core=(("lamb", 10.0), ("yogurt", 8.0), ("cumin", 8.0),
+                  ("paprika", 7.0), ("garlic", 8.0), ("onion", 7.0),
+                  ("lemon juice", 6.0), ("mint", 4.0)),
+            category_multipliers=(("Meat", 2.0), ("Spice", 1.8),
+                                  ("Herb", 1.3)),
+        ),
+        DishArchetype(
+            "mezze", "Mezze and Dips",
+            core=(("chickpea", 9.0), ("tahini", 8.0), ("lemon juice", 9.0),
+                  ("olive oil", 10.0), ("garlic", 8.0), ("parsley", 7.0),
+                  ("mint", 6.0), ("olive", 6.0), ("cumin", 5.0)),
+            category_multipliers=(("Legume", 1.8), ("Herb", 1.8),
+                                  ("Vegetable", 1.4), ("Dairy", 0.8)),
+            size_shift=-0.5,
+        ),
+        DishArchetype(
+            "tagine", "Tagines",
+            core=(("cumin", 10.0), ("cinnamon", 8.0), ("olive", 8.0),
+                  ("cilantro", 7.0), ("paprika", 7.0), ("onion", 7.0),
+                  ("apricot", 5.0), ("couscous", 5.0), ("ginger", 4.0),
+                  ("turmeric", 4.0)),
+            category_multipliers=(("Spice", 2.4), ("Fruit", 1.4),
+                                  ("Meat", 1.3), ("Vegetable", 1.3)),
+            size_shift=1.0,
+        ),
+        DishArchetype(
+            "pickle_ferment", "Pickles and Ferments",
+            core=(("cabbage", 10.0), ("salt", 9.0), ("vinegar", 8.0),
+                  ("garlic", 8.0), ("chili pepper", 7.0), ("sugar", 6.0),
+                  ("gochugaru", 5.0), ("ginger", 5.0), ("scallion", 4.0)),
+            category_multipliers=(("Vegetable", 2.2), ("Additive", 1.5),
+                                  ("Dairy", 0.05), ("Meat", 0.2)),
+            size_shift=-1.5,
+        ),
+        DishArchetype(
+            "chowder", "Chowders and Cream Soups",
+            core=(("potato", 10.0), ("cream", 9.0), ("butter", 9.0),
+                  ("onion", 8.0), ("clam", 5.0), ("corn", 5.0),
+                  ("bacon", 5.0), ("flour", 4.0), ("milk", 4.0)),
+            category_multipliers=(("Dairy", 1.9), ("Vegetable", 1.5),
+                                  ("Seafood", 1.3)),
+        ),
+        DishArchetype(
+            "porridge", "Porridges",
+            core=(("oat", 12.0), ("milk", 10.0), ("sugar", 7.0),
+                  ("cinnamon", 6.0), ("honey", 6.0), ("butter", 4.0)),
+            category_multipliers=(("Cereal", 2.0), ("Dairy", 1.8),
+                                  ("Fruit", 1.4), ("Meat", 0.05),
+                                  ("Vegetable", 0.2)),
+            size_shift=-3.0,
+        ),
+        DishArchetype(
+            "cocktail_drink", "Drinks and Punches",
+            core=(("rum", 10.0), ("lime juice", 9.0), ("sugar", 8.0),
+                  ("pineapple juice", 6.0), ("mint", 5.0), ("lime", 5.0),
+                  ("orange juice", 4.0)),
+            category_multipliers=(("Beverage", 2.6),
+                                  ("Beverage Alcoholic", 2.6),
+                                  ("Fruit", 1.8), ("Meat", 0.02),
+                                  ("Vegetable", 0.2), ("Dairy", 0.3)),
+            size_shift=-3.5,
+        ),
+        DishArchetype(
+            "coconut_curry", "Coconut Curries",
+            core=(("coconut milk", 12.0), ("red curry paste", 8.0),
+                  ("fish sauce", 9.0), ("lime", 8.0), ("thai basil", 6.0),
+                  ("lemongrass", 6.0), ("chili pepper", 6.0),
+                  ("garlic", 5.0), ("ginger", 4.0), ("sugar", 4.0)),
+            category_multipliers=(("Spice", 1.6), ("Herb", 1.6),
+                                  ("Fish", 1.4), ("Seafood", 1.3),
+                                  ("Dairy", 0.1)),
+            size_shift=1.0,
+        ),
+        DishArchetype(
+            "paella", "Paellas and Saffron Rice",
+            core=(("rice", 12.0), ("saffron", 8.0), ("shrimp", 7.0),
+                  ("chicken", 6.0), ("bell pepper", 7.0),
+                  ("olive oil", 8.0), ("garlic", 7.0), ("paprika", 6.0),
+                  ("pea", 4.0), ("tomato", 4.0)),
+            category_multipliers=(("Seafood", 1.8), ("Vegetable", 1.4),
+                                  ("Cereal", 1.3)),
+            size_shift=1.5,
+        ),
+        DishArchetype(
+            "goulash", "Goulash and Paprika Stews",
+            core=(("beef", 10.0), ("paprika", 10.0), ("onion", 9.0),
+                  ("caraway", 5.0), ("sour cream", 5.0), ("flour", 4.0),
+                  ("garlic", 4.0), ("tomato", 4.0)),
+            category_multipliers=(("Meat", 1.8), ("Spice", 1.4),
+                                  ("Dairy", 1.3), ("Vegetable", 1.4)),
+        ),
+        DishArchetype(
+            "nordic_plate", "Nordic Plates",
+            core=(("salmon", 9.0), ("dill", 9.0), ("sour cream", 7.0),
+                  ("potato", 8.0), ("butter", 7.0), ("rye bread", 5.0),
+                  ("mustard", 4.0), ("caper", 3.0)),
+            category_multipliers=(("Fish", 2.0), ("Dairy", 1.8),
+                                  ("Herb", 1.3)),
+            size_shift=-0.5,
+        ),
+        DishArchetype(
+            "irish_comfort", "Potato Comfort Dishes",
+            core=(("potato", 14.0), ("butter", 11.0), ("cream", 8.0),
+                  ("cabbage", 6.0), ("leek", 6.0), ("flour", 5.0),
+                  ("milk", 5.0), ("salt", 4.0)),
+            category_multipliers=(("Dairy", 2.0), ("Vegetable", 1.6),
+                                  ("Spice", 0.5)),
+        ),
+        DishArchetype(
+            "korean_bbq", "Korean Grills",
+            core=(("sesame", 11.0), ("soybean sauce", 11.0), ("garlic", 10.0),
+                  ("sugar", 8.0), ("gochugaru", 7.0), ("gochujang", 6.0),
+                  ("scallion", 7.0), ("sesame oil", 7.0), ("ginger", 5.0),
+                  ("rice", 4.0)),
+            category_multipliers=(("Meat", 1.5), ("Vegetable", 1.4),
+                                  ("Dairy", 0.05)),
+        ),
+        DishArchetype(
+            "casserole", "Casseroles",
+            core=(("macaroni", 7.0), ("cheddar cheese", 8.0), ("milk", 7.0),
+                  ("butter", 7.0), ("onion", 6.0), ("bread crumbs", 5.0),
+                  ("celery", 5.0), ("chicken", 4.0), ("mushroom", 4.0)),
+            category_multipliers=(("Dairy", 1.7), ("Cereal", 1.3),
+                                  ("Vegetable", 1.3)),
+        ),
+    )
+}
+
+
+def _profile(
+    code: str,
+    weights: tuple[tuple[str, float], ...],
+    emphasis: tuple[tuple[str, float], ...] = (),
+    **kwargs,
+) -> tuple[str, CuisineProfile]:
+    return code, CuisineProfile(
+        region_code=code,
+        archetype_weights=weights,
+        category_emphasis=emphasis,
+        **kwargs,
+    )
+
+
+REGION_PROFILES: dict[str, CuisineProfile] = dict(
+    (
+        _profile(
+            "AFR",
+            (("tagine", 3.0), ("curry", 2.0), ("stew", 2.0),
+             ("grill_bbq", 1.0), ("salad", 1.0), ("bread", 1.0),
+             ("soup", 1.0)),
+            (("Spice", 2.0), ("Legume", 1.3), ("Vegetable", 1.3),
+             ("Dairy", 0.7)),
+        ),
+        _profile(
+            "ANZ",
+            (("baked_good", 3.0), ("grill_bbq", 2.0), ("roast", 1.5),
+             ("salad", 1.0), ("dessert_custard", 1.0), ("pie_pastry", 1.0),
+             ("sandwich", 1.0)),
+            (("Dairy", 1.5), ("Meat", 1.2), ("Spice", 0.6)),
+        ),
+        _profile(
+            "IRL",
+            (("irish_comfort", 3.0), ("baked_good", 2.0), ("stew", 2.0),
+             ("roast", 1.0), ("soup", 1.0), ("porridge", 1.0)),
+            (("Dairy", 2.0), ("Vegetable", 1.2), ("Spice", 0.5)),
+        ),
+        _profile(
+            "CAN",
+            (("baked_good", 3.0), ("pancake_breakfast", 2.0),
+             ("pie_pastry", 1.5), ("roast", 1.0), ("soup", 1.0),
+             ("grill_bbq", 1.0)),
+            (("Dairy", 1.5), ("Additive", 1.3), ("Spice", 0.7)),
+        ),
+        _profile(
+            "CBN",
+            (("cocktail_drink", 2.0), ("grill_bbq", 2.0), ("rice_dish", 1.5),
+             ("seafood_dish", 1.0), ("stew", 1.0), ("dessert_custard", 1.0)),
+            (("Fruit", 1.8), ("Spice", 1.3),
+             ("Beverage Alcoholic", 1.5), ("Seafood", 1.2)),
+        ),
+        _profile(
+            "CHN",
+            (("stir_fry", 3.0), ("rice_dish", 2.0), ("dumpling", 2.0),
+             ("noodle_soup", 2.0), ("soup", 1.0)),
+            (("Vegetable", 1.5), ("Maize", 1.4), ("Dairy", 0.15),
+             ("Seafood", 1.2)),
+        ),
+        _profile(
+            "DACH",
+            (("baked_good", 3.0), ("goulash", 2.0), ("bread", 1.5),
+             ("dessert_custard", 1.5), ("sandwich", 1.0), ("roast", 1.0)),
+            (("Dairy", 1.6), ("Meat", 1.3), ("Bakery", 1.3)),
+        ),
+        _profile(
+            "EE",
+            (("baked_good", 2.5), ("goulash", 2.0), ("soup", 1.5),
+             ("dumpling", 1.5), ("bread", 1.0), ("pickle_ferment", 0.8)),
+            (("Dairy", 1.4), ("Vegetable", 1.3), ("Meat", 1.2)),
+        ),
+        _profile(
+            "FRA",
+            (("baked_good", 2.5), ("dessert_custard", 2.0), ("roast", 1.5),
+             ("pie_pastry", 1.5), ("soup", 1.0), ("seafood_dish", 1.0)),
+            (("Dairy", 1.9), ("Herb", 1.2), ("Beverage Alcoholic", 1.2)),
+        ),
+        _profile(
+            "GRC",
+            (("salad", 2.5), ("mezze", 2.0), ("roast", 1.5),
+             ("seafood_dish", 1.0), ("pie_pastry", 1.0)),
+            (("Vegetable", 1.5), ("Herb", 1.4), ("Dairy", 1.2),
+             ("Fruit", 1.2)),
+        ),
+        _profile(
+            "INSC",
+            (("curry", 3.5), ("dal", 2.5), ("bread", 1.5),
+             ("rice_dish", 1.5), ("dessert_custard", 1.0),
+             ("pickle_ferment", 0.5)),
+            (("Spice", 2.5), ("Legume", 1.6), ("Dairy", 1.1),
+             ("Meat", 0.7)),
+            size_mean=9.4,
+        ),
+        _profile(
+            "ITA",
+            (("pasta_dish", 3.5), ("pizza_flatbread", 2.0),
+             ("dessert_custard", 1.5), ("salad", 1.0), ("roast", 1.0),
+             ("soup", 1.0)),
+            (("Herb", 1.5), ("Dairy", 1.3), ("Vegetable", 1.3)),
+        ),
+        _profile(
+            "JPN",
+            (("sushi", 2.5), ("noodle_soup", 2.0), ("stir_fry", 1.5),
+             ("rice_dish", 1.5), ("soup", 1.5), ("pickle_ferment", 0.5)),
+            (("Fish", 2.2), ("Seafood", 1.6), ("Dairy", 0.1),
+             ("Plant", 1.4)),
+            size_mean=8.5,
+        ),
+        _profile(
+            "KOR",
+            (("korean_bbq", 3.0), ("pickle_ferment", 2.0),
+             ("rice_dish", 1.5), ("noodle_soup", 1.5), ("stew", 1.0)),
+            (("Vegetable", 1.5), ("Dairy", 0.1), ("Spice", 1.2),
+             ("Fish", 1.2)),
+            size_mean=8.5,
+        ),
+        _profile(
+            "MEX",
+            (("taco", 3.5), ("salsa_dip", 2.0), ("rice_dish", 1.5),
+             ("stew", 1.0), ("grill_bbq", 1.0), ("soup", 1.0)),
+            (("Vegetable", 1.4), ("Spice", 1.3), ("Maize", 2.0),
+             ("Legume", 1.3)),
+        ),
+        _profile(
+            "ME",
+            (("mezze", 3.0), ("kebab_grill", 2.5), ("rice_dish", 1.5),
+             ("salad", 1.5), ("bread", 1.0), ("dessert_custard", 1.0)),
+            (("Herb", 1.6), ("Spice", 1.4), ("Legume", 1.4),
+             ("Fruit", 1.2)),
+        ),
+        _profile(
+            "SCND",
+            (("baked_good", 2.5), ("nordic_plate", 2.5),
+             ("seafood_dish", 1.5), ("porridge", 1.0), ("soup", 1.0)),
+            (("Dairy", 1.8), ("Fish", 1.6), ("Bakery", 1.2),
+             ("Spice", 0.6)),
+        ),
+        _profile(
+            "SAM",
+            (("grill_bbq", 2.5), ("stew", 2.0), ("ceviche", 1.5),
+             ("pie_pastry", 1.5), ("rice_dish", 1.0), ("salad", 1.0)),
+            (("Meat", 1.8), ("Vegetable", 1.3), ("Fungus", 1.3)),
+        ),
+        _profile(
+            "SEA",
+            (("coconut_curry", 2.0), ("stir_fry", 2.0), ("noodle_soup", 2.0),
+             ("rice_dish", 1.5), ("ceviche", 1.0)),
+            (("Fish", 1.8), ("Herb", 1.3), ("Dairy", 0.1),
+             ("Fruit", 1.2)),
+            size_mean=8.5,
+        ),
+        _profile(
+            "SP",
+            (("paella", 2.5), ("seafood_dish", 2.0), ("stew", 1.5),
+             ("salad", 1.0), ("grill_bbq", 1.0), ("mezze", 1.0)),
+            (("Seafood", 1.5), ("Vegetable", 1.3), ("Herb", 1.2)),
+        ),
+        _profile(
+            "THA",
+            (("coconut_curry", 3.0), ("stir_fry", 2.0), ("noodle_soup", 1.5),
+             ("salad", 1.5), ("rice_dish", 1.0)),
+            (("Herb", 1.6), ("Fish", 1.5), ("Dairy", 0.1),
+             ("Fruit", 1.3), ("Spice", 1.2)),
+            size_mean=8.5,
+        ),
+        _profile(
+            "USA",
+            (("baked_good", 2.5), ("grill_bbq", 2.0), ("sandwich", 1.5),
+             ("pancake_breakfast", 1.5), ("pie_pastry", 1.5),
+             ("casserole", 1.0), ("chowder", 1.0), ("salad", 1.0)),
+            (("Dairy", 1.4), ("Additive", 1.4), ("Meat", 1.2)),
+        ),
+        _profile(
+            "BN",
+            (("baked_good", 3.0), ("pancake_breakfast", 1.5),
+             ("irish_comfort", 1.5), ("stew", 1.5), ("chowder", 1.0),
+             ("seafood_dish", 1.0)),
+            (("Dairy", 1.6), ("Bakery", 1.3), ("Spice", 0.6)),
+        ),
+        _profile(
+            "CAM",
+            (("soup", 2.0), ("rice_dish", 2.0), ("taco", 1.5),
+             ("stew", 1.5), ("casserole", 1.0), ("salad", 1.0)),
+            (("Vegetable", 1.5), ("Additive", 1.2), ("Maize", 1.5)),
+            size_mean=8.0,
+        ),
+        _profile(
+            "UK",
+            (("baked_good", 3.0), ("roast", 2.0), ("pie_pastry", 2.0),
+             ("irish_comfort", 1.5), ("sandwich", 1.0), ("porridge", 1.0)),
+            (("Dairy", 1.6), ("Bakery", 1.3), ("Meat", 1.2),
+             ("Spice", 0.7)),
+        ),
+    )
+)
+
+
+def validate_archetypes(lexicon: Lexicon) -> None:
+    """Check archetypes/profiles are consistent with a lexicon.
+
+    Raises:
+        SynthesisError: On unknown core ingredient names, unknown
+            archetype keys in profiles, or missing region profiles.
+    """
+    missing: list[str] = []
+    for archetype in ARCHETYPES.values():
+        for name, boost in archetype.core:
+            if boost <= 0:
+                raise SynthesisError(
+                    f"archetype {archetype.key!r} has non-positive boost "
+                    f"for {name!r}"
+                )
+            if lexicon.get(name) is None:
+                missing.append(f"{archetype.key}:{name}")
+    if missing:
+        raise SynthesisError(
+            f"archetype core names missing from lexicon: {missing}"
+        )
+    for code in ALL_REGION_CODES:
+        profile = REGION_PROFILES.get(code)
+        if profile is None:
+            raise SynthesisError(f"no cuisine profile for region {code!r}")
+        if not profile.archetype_weights:
+            raise SynthesisError(f"profile {code!r} mixes no archetypes")
+        for key, weight in profile.archetype_weights:
+            if key not in ARCHETYPES:
+                raise SynthesisError(
+                    f"profile {code!r} references unknown archetype {key!r}"
+                )
+            if weight <= 0:
+                raise SynthesisError(
+                    f"profile {code!r} has non-positive weight for {key!r}"
+                )

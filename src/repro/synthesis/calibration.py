@@ -1,0 +1,124 @@
+"""Calibration checks: does the synthetic corpus match its targets?
+
+The WorldKitchen generator is calibrated against every statistic the
+paper publishes about its corpus.  This module quantifies the match so
+tests, experiments and EXPERIMENTS.md can report it:
+
+* per-region recipe counts (exact by construction at scale 1.0);
+* per-region unique-ingredient counts vs Table I (approximate — the
+  Zipf tail of a vocabulary may go unobserved in small cuisines);
+* recipe sizes within [2, 38] with aggregate mean near 9 (Fig. 1);
+* signature (Table I top-5) ingredients actually overrepresented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import PAPER
+from repro.corpus.dataset import RecipeDataset
+from repro.corpus.regions import get_region
+from repro.errors import CalibrationError
+
+__all__ = ["RegionCalibration", "CalibrationSummary", "check_calibration"]
+
+
+@dataclass(frozen=True)
+class RegionCalibration:
+    """Calibration outcome for one region.
+
+    Attributes:
+        region_code: Region checked.
+        n_recipes: Generated recipe count.
+        target_recipes: Table I recipe count (scaled).
+        n_ingredients: Observed unique ingredients.
+        target_ingredients: Table I unique-ingredient count.
+        ingredient_coverage: Observed / target ingredient counts.
+        mean_size: Observed mean recipe size.
+        sizes_in_bounds: Whether all sizes fall in the paper's [2, 38].
+    """
+
+    region_code: str
+    n_recipes: int
+    target_recipes: int
+    n_ingredients: int
+    target_ingredients: int
+    ingredient_coverage: float
+    mean_size: float
+    sizes_in_bounds: bool
+
+
+@dataclass(frozen=True)
+class CalibrationSummary:
+    """Whole-corpus calibration outcome."""
+
+    regions: tuple[RegionCalibration, ...]
+    aggregate_mean_size: float
+    min_ingredient_coverage: float
+    max_ingredient_coverage: float
+
+    def worst_region(self) -> RegionCalibration:
+        """Region with the lowest ingredient coverage."""
+        return min(self.regions, key=lambda r: r.ingredient_coverage)
+
+
+def check_calibration(
+    dataset: RecipeDataset,
+    scale: float = 1.0,
+    min_coverage: float = 0.6,
+    max_coverage: float = 1.4,
+    strict: bool = False,
+) -> CalibrationSummary:
+    """Measure how closely a generated corpus matches its targets.
+
+    Args:
+        dataset: Corpus to check (regions must be Table I regions).
+        scale: The scale the corpus was generated at.
+        min_coverage: Lower acceptance bound on ingredient coverage.
+        max_coverage: Upper acceptance bound on ingredient coverage.
+        strict: If True, raise :class:`CalibrationError` on violations
+            instead of just reporting them.
+
+    Returns:
+        A :class:`CalibrationSummary` with per-region details.
+    """
+    regions = []
+    violations: list[str] = []
+    for code in dataset.region_codes():
+        region = get_region(code)
+        view = dataset.cuisine(code)
+        sizes = view.sizes()
+        target_recipes = max(int(round(region.n_recipes * scale)), 1)
+        coverage = view.n_ingredients / region.n_ingredients
+        in_bounds = bool(
+            (sizes >= PAPER.recipe_size_min).all()
+            and (sizes <= PAPER.recipe_size_max).all()
+        )
+        record = RegionCalibration(
+            region_code=code,
+            n_recipes=view.n_recipes,
+            target_recipes=target_recipes,
+            n_ingredients=view.n_ingredients,
+            target_ingredients=region.n_ingredients,
+            ingredient_coverage=coverage,
+            mean_size=float(sizes.mean()),
+            sizes_in_bounds=in_bounds,
+        )
+        regions.append(record)
+        if not in_bounds:
+            violations.append(f"{code}: recipe sizes out of [2, 38]")
+        if scale >= 1.0 and not min_coverage <= coverage <= max_coverage:
+            violations.append(
+                f"{code}: ingredient coverage {coverage:.2f} outside "
+                f"[{min_coverage}, {max_coverage}]"
+            )
+
+    summary = CalibrationSummary(
+        regions=tuple(regions),
+        aggregate_mean_size=float(dataset.sizes().mean()),
+        min_ingredient_coverage=min(r.ingredient_coverage for r in regions),
+        max_ingredient_coverage=max(r.ingredient_coverage for r in regions),
+    )
+    if strict and violations:
+        raise CalibrationError("; ".join(violations))
+    return summary

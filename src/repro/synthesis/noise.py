@@ -1,0 +1,102 @@
+"""Messy ingredient-mention rendering.
+
+Real website records spell ingredients with quantities, units and
+preparation notes ("2 cups finely chopped fresh cilantro leaves"), which
+is exactly what the paper's aliasing protocol exists to undo.  This
+module renders canonical ingredients back into such raw text so the ETL
+pipeline (and its tests) exercise the full protocol.
+
+Renderings are built so that the protocol can always recover the entity:
+amounts and units come from the normalizer's own strip lists, descriptors
+from ``DESCRIPTOR_WORDS``, and the surface form is the canonical name or
+a curated alias.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lexicon.aliasing import AliasResolver
+from repro.lexicon.ingredient import Ingredient
+from repro.rng import SeedLike, ensure_rng
+
+__all__ = ["MentionRenderer"]
+
+_AMOUNTS = ("1", "2", "3", "4", "1/2", "1/4", "3/4", "1.5", "2.5")
+_UNITS = (
+    "cup", "cups", "tablespoon", "tablespoons", "tbsp", "teaspoon",
+    "teaspoons", "tsp", "ounce", "ounces", "oz", "pound", "lb", "gram",
+    "g", "ml", "pinch", "dash", "can", "package", "bunch", "stick",
+)
+_DESCRIPTORS = (
+    "fresh", "chopped", "finely chopped", "minced", "diced", "sliced",
+    "grated", "shredded", "peeled", "crushed", "roughly chopped",
+    "thinly sliced", "softened", "melted", "toasted", "cooked", "large",
+    "small", "medium", "ripe",
+)
+_SUFFIXES = ("", ", or to taste", ", divided", ", optional", ", for garnish")
+
+
+class MentionRenderer:
+    """Renders :class:`Ingredient` entities as messy recipe-line text.
+
+    Args:
+        seed: RNG seed.
+        validate_with: Optional resolver; when given, every rendering is
+            checked to resolve back to its entity, and genuinely
+            ambiguous phrasings (a human writing "fresh coriander seed"
+            is ambiguous too) fall back to an unambiguous form.
+    """
+
+    def __init__(
+        self,
+        seed: SeedLike = None,
+        validate_with: AliasResolver | None = None,
+    ):
+        self._rng = ensure_rng(seed)
+        self._validator = validate_with
+
+    def render(self, ingredient: Ingredient) -> str:
+        """One messy mention for ``ingredient``.
+
+        The surface form is the canonical name (usually) or a curated
+        alias (sometimes), wrapped in quantity/unit/descriptor noise.
+        """
+        mention = self._render_once(ingredient)
+        if self._validator is not None:
+            resolution = self._validator.resolve(mention)
+            if (
+                resolution.ingredient is None
+                or resolution.ingredient.name != ingredient.name
+            ):
+                mention = f"2 cups {ingredient.name}"
+        return mention
+
+    def _render_once(self, ingredient: Ingredient) -> str:
+        rng = self._rng
+        forms = ingredient.surface_forms
+        # Canonical name twice as likely as any single alias.
+        weights = np.ones(len(forms))
+        weights[0] = 2.0
+        weights /= weights.sum()
+        surface = forms[int(rng.choice(len(forms), p=weights))]
+
+        parts: list[str] = []
+        if rng.random() < 0.85:
+            parts.append(str(rng.choice(_AMOUNTS)))
+            if rng.random() < 0.8:
+                parts.append(str(rng.choice(_UNITS)))
+        if rng.random() < 0.45:
+            parts.append(str(rng.choice(_DESCRIPTORS)))
+        parts.append(surface)
+        mention = " ".join(parts)
+        if rng.random() < 0.15:
+            mention += str(rng.choice(_SUFFIXES))
+        if rng.random() < 0.1:
+            mention = mention.capitalize()
+        return mention
+
+    def render_all(self, ingredients: list[Ingredient]) -> tuple[str, ...]:
+        """Messy mentions for a whole recipe, order shuffled."""
+        order = self._rng.permutation(len(ingredients))
+        return tuple(self.render(ingredients[i]) for i in order)

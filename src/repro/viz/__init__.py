@@ -1,0 +1,19 @@
+"""Rendering and artifact export (no plotting backend required)."""
+
+from repro.viz.ascii import (
+    render_boxplots,
+    render_curves,
+    render_histogram,
+    render_table,
+)
+from repro.viz.export import write_csv, write_curves_csv, write_json
+
+__all__ = [
+    "render_boxplots",
+    "render_curves",
+    "render_histogram",
+    "render_table",
+    "write_csv",
+    "write_curves_csv",
+    "write_json",
+]

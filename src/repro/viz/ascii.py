@@ -1,0 +1,180 @@
+"""ASCII rendering of tables and plots.
+
+The offline environment has no matplotlib; experiments render their
+figures as log-log ASCII scatter plots and aligned text tables, and
+export the underlying series as CSV/JSON via :mod:`repro.viz.export`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_curves", "render_histogram", "render_boxplots"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells))
+        if cells
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(value.ljust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _log_positions(values: np.ndarray, low: float, high: float, cells: int) -> np.ndarray:
+    span = math.log10(high) - math.log10(low)
+    if span <= 0:
+        return np.zeros(values.size, dtype=int)
+    positions = (np.log10(values) - math.log10(low)) / span * (cells - 1)
+    return np.clip(np.rint(positions).astype(int), 0, cells - 1)
+
+
+def render_curves(
+    curves: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    log_log: bool = True,
+) -> str:
+    """Render rank-frequency curves as an ASCII scatter plot.
+
+    Each curve gets a distinct marker; ranks on x, frequencies on y
+    (log-log by default, matching the paper's figures).
+    """
+    markers = "*o+x#@%&$~^=-"
+    grid = [[" "] * width for _ in range(height)]
+
+    series = {
+        label: np.asarray(values, dtype=float)
+        for label, values in curves.items()
+        if len(values) > 0
+    }
+    if not series:
+        return f"{title}\n(no data)"
+
+    all_y = np.concatenate([v[v > 0] for v in series.values()])
+    all_x = np.concatenate(
+        [np.arange(1, v.size + 1)[v > 0] for v in series.values()]
+    )
+    if all_y.size == 0:
+        return f"{title}\n(no positive data)"
+    y_low, y_high = float(all_y.min()), float(all_y.max())
+    x_low, x_high = float(all_x.min()), float(all_x.max())
+    if y_low == y_high:
+        y_low *= 0.5
+    if x_low == x_high:
+        x_high = x_low + 1
+
+    for index, (label, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        positive = values > 0
+        ranks = np.arange(1, values.size + 1, dtype=float)[positive]
+        freqs = values[positive]
+        if log_log:
+            cols = _log_positions(ranks, x_low, x_high, width)
+            rows = _log_positions(freqs, y_low, y_high, height)
+        else:
+            cols = np.clip(
+                np.rint((ranks - x_low) / (x_high - x_low) * (width - 1)).astype(int),
+                0, width - 1,
+            )
+            rows = np.clip(
+                np.rint((freqs - y_low) / (y_high - y_low) * (height - 1)).astype(int),
+                0, height - 1,
+            )
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"freq {y_high:.3g} ┐")
+    for row in grid:
+        lines.append("     │" + "".join(row))
+    lines.append(f"freq {y_low:.3g} └" + "─" * width)
+    lines.append(f"      rank {x_low:.0f} .. {x_high:.0f} (log-log)" if log_log
+                 else f"      rank {x_low:.0f} .. {x_high:.0f}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={label}"
+        for i, label in enumerate(series)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def render_histogram(
+    values: Sequence[int],
+    counts: Sequence[int],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render a histogram with one bar row per distinct value."""
+    counts_arr = np.asarray(counts, dtype=float)
+    if counts_arr.size == 0:
+        return f"{title}\n(no data)"
+    peak = counts_arr.max()
+    lines = []
+    if title:
+        lines.append(title)
+    for value, count in zip(values, counts_arr):
+        bar = "█" * max(1, int(round(count / peak * width))) if count else ""
+        lines.append(f"{value:>4} | {bar} {int(count)}")
+    return "\n".join(lines)
+
+
+def render_boxplots(
+    stats: Mapping[str, tuple[float, float, float, float, float]],
+    width: int = 56,
+    title: str = "",
+) -> str:
+    """Render labelled boxplots.
+
+    Args:
+        stats: label -> (whisker_low, q1, median, q3, whisker_high).
+        width: Plot width in cells.
+        title: Optional heading.
+    """
+    if not stats:
+        return f"{title}\n(no data)"
+    low = min(values[0] for values in stats.values())
+    high = max(values[4] for values in stats.values())
+    if high <= low:
+        high = low + 1
+    label_width = max(len(label) for label in stats)
+
+    def cell(value: float) -> int:
+        return int(round((value - low) / (high - low) * (width - 1)))
+
+    lines = []
+    if title:
+        lines.append(title)
+    for label, (w_low, q1, median, q3, w_high) in stats.items():
+        row = [" "] * width
+        for col in range(cell(w_low), cell(q1)):
+            row[col] = "─"
+        for col in range(cell(q1), cell(q3) + 1):
+            row[col] = "█"
+        for col in range(cell(q3) + 1, cell(w_high) + 1):
+            row[col] = "─"
+        row[cell(median)] = "┃"
+        lines.append(f"{label.rjust(label_width)} |{''.join(row)}|")
+    lines.append(f"{' ' * label_width}  {low:.2f}{' ' * (width - 12)}{high:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""CSV/JSON artifact export for experiment results."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+__all__ = ["write_csv", "write_json", "write_curves_csv"]
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Write rows to CSV, creating parent directories."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return target
+
+
+def write_json(path: str | Path, payload: object) -> Path:
+    """Write a JSON document, creating parent directories."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, default=str))
+    return target
+
+
+def write_curves_csv(
+    path: str | Path,
+    curves: Mapping[str, Sequence[float]],
+) -> Path:
+    """Write rank-frequency series in long form (label, rank, frequency)."""
+    rows = [
+        (label, rank, float(freq))
+        for label, values in curves.items()
+        for rank, freq in enumerate(values, start=1)
+    ]
+    return write_csv(path, ("label", "rank", "frequency"), rows)

@@ -1,0 +1,84 @@
+"""Tests for Fig. 2 category usage statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.category_usage import (
+    BoxplotStats,
+    category_boxplots,
+    category_usage_matrix,
+    dominant_categories,
+)
+from repro.errors import AnalysisError
+from repro.lexicon.categories import Category
+
+
+def test_usage_matrix_hand_computed(tiny_dataset, tiny_lexicon):
+    matrix = category_usage_matrix(tiny_dataset, tiny_lexicon)
+    # ITA recipes: (0,1,2,7) veg=3, (0,2,7) veg=2, (0,1,7) veg=2,
+    # (3,4,8) veg=0 -> mean 7/4.
+    assert matrix["ITA"][Category.VEGETABLE] == pytest.approx(7 / 4)
+    # ITA herb: basil in 3 of 4 recipes.
+    assert matrix["ITA"][Category.HERB] == pytest.approx(3 / 4)
+    # KOR spice: (5), (5,6), (5,6), (5,6) -> 7/4.
+    assert matrix["KOR"][Category.SPICE] == pytest.approx(7 / 4)
+
+
+def test_usage_matrix_dense(tiny_dataset, tiny_lexicon):
+    matrix = category_usage_matrix(tiny_dataset, tiny_lexicon)
+    for row in matrix.values():
+        assert set(row) == set(Category)
+
+
+def test_boxplots_cover_all_categories(tiny_dataset, tiny_lexicon):
+    boxplots = category_boxplots(tiny_dataset, tiny_lexicon)
+    assert set(boxplots) == set(Category)
+
+
+def test_boxplot_stats_from_values():
+    values = np.array([1.0, 2.0, 3.0, 4.0, 100.0])
+    stats = BoxplotStats.from_values(Category.SPICE, values)
+    assert stats.median == pytest.approx(3.0)
+    assert stats.q1 == pytest.approx(2.0)
+    assert stats.q3 == pytest.approx(4.0)
+    assert 100.0 in stats.outliers
+    assert stats.whisker_high <= 4.0 + 1.5 * stats.q3
+
+
+def test_boxplot_empty_raises():
+    with pytest.raises(AnalysisError):
+        BoxplotStats.from_values(Category.SPICE, np.array([]))
+
+
+def test_dominant_categories_tiny(tiny_dataset, tiny_lexicon):
+    dominant = dominant_categories(tiny_dataset, tiny_lexicon, k=2)
+    assert Category.VEGETABLE in dominant or Category.SPICE in dominant
+
+
+def test_paper_narrative_on_world_corpus(world_corpus, lexicon):
+    """INSC/AFR use more spice than JPN/ANZ/IRL; SCND/FRA/IRL more dairy
+    than JPN/SEA/THA/KOR (Sec. III)."""
+    matrix = category_usage_matrix(world_corpus, lexicon)
+
+    def mean_usage(codes, category):
+        return np.mean([matrix[c][category] for c in codes])
+
+    assert mean_usage(("INSC", "AFR"), Category.SPICE) > mean_usage(
+        ("JPN", "ANZ", "IRL"), Category.SPICE
+    )
+    assert mean_usage(("SCND", "FRA", "IRL"), Category.DAIRY) > mean_usage(
+        ("JPN", "SEA", "THA", "KOR"), Category.DAIRY
+    )
+
+
+def test_dominant_seven_on_world_corpus(world_corpus, lexicon):
+    """The paper's seven dominant categories should lead the medians."""
+    dominant = set(dominant_categories(world_corpus, lexicon, k=7))
+    expected = {
+        Category.VEGETABLE, Category.ADDITIVE, Category.SPICE,
+        Category.DAIRY, Category.HERB, Category.PLANT, Category.FRUIT,
+    }
+    # Allow two slots of slack: the synthetic corpus approximates Fig. 2.
+    assert len(dominant & expected) >= 5

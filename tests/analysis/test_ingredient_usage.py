@@ -1,0 +1,73 @@
+"""Tests for single-ingredient rank-frequency analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ingredient_usage import (
+    cuisine_ingredient_curves,
+    fit_zipf,
+    ingredient_invariance,
+    ingredient_rank_frequency,
+)
+from repro.analysis.rank_frequency import RankFrequencyCurve
+from repro.corpus.dataset import CuisineView
+from repro.errors import AnalysisError
+
+
+def test_rank_frequency_hand_computed(tiny_dataset):
+    curve = ingredient_rank_frequency(tiny_dataset.cuisine("ITA"))
+    # tomato/basil each in 3 of 4 recipes -> top frequencies 0.75.
+    assert curve.frequencies[0] == pytest.approx(0.75)
+    assert curve.frequencies[1] == pytest.approx(0.75)
+    assert curve.label == "ITA"
+    # 7 distinct ingredients used.
+    assert len(curve) == 7
+
+
+def test_empty_view_raises():
+    with pytest.raises(AnalysisError):
+        ingredient_rank_frequency(CuisineView("ITA", ()))
+
+
+def test_per_cuisine_curves(tiny_dataset):
+    curves = cuisine_ingredient_curves(tiny_dataset)
+    assert set(curves) == {"ITA", "KOR"}
+
+
+def test_fit_zipf_on_exact_power_law():
+    ranks = np.arange(1, 101, dtype=float)
+    frequencies = 0.9 * ranks**-0.8
+    curve = RankFrequencyCurve("z", frequencies)
+    fit = fit_zipf(curve)
+    assert fit.exponent == pytest.approx(0.8, abs=1e-6)
+    assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+    assert fit.n_ranks == 100
+
+
+def test_fit_zipf_needs_three_points():
+    curve = RankFrequencyCurve("z", np.array([0.5, 0.1]))
+    with pytest.raises(AnalysisError):
+        fit_zipf(curve)
+
+
+def test_synthetic_corpus_is_zipf_like(small_corpus):
+    """Generated cuisines show decaying power-law-ish usage curves."""
+    for code, curve in cuisine_ingredient_curves(small_corpus).items():
+        fit = fit_zipf(curve)
+        assert fit.exponent > 0.3, code
+        assert fit.r_squared > 0.6, code
+
+
+def test_invariance_holds_on_world_corpus(world_corpus):
+    """The refs [3]-[8] pattern: exponents cluster, curves align."""
+    result = ingredient_invariance(world_corpus)
+    assert result["exponent_std"] < 0.35
+    assert result["avg_pairwise_distance"] < 0.06
+    assert len(result["exponents"]) == 25
+
+
+def test_invariance_needs_two_cuisines(small_corpus):
+    with pytest.raises(AnalysisError):
+        ingredient_invariance(small_corpus.subset(["ITA"]))

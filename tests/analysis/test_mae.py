@@ -1,0 +1,123 @@
+"""Tests for the Eq. 2 distance, incl. metric axioms via hypothesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mae import curve_distance, pairwise_distance_matrix
+from repro.analysis.rank_frequency import RankFrequencyCurve
+from repro.errors import MetricError
+
+
+def _curve(label, values):
+    return RankFrequencyCurve(label, np.array(sorted(values, reverse=True)))
+
+
+def test_absolute_hand_computed():
+    a = _curve("a", [0.5, 0.3])
+    b = _curve("b", [0.4, 0.1])
+    assert curve_distance(a, b) == pytest.approx((0.1 + 0.2) / 2)
+
+
+def test_squared_hand_computed():
+    a = _curve("a", [0.5, 0.3])
+    b = _curve("b", [0.4, 0.1])
+    assert curve_distance(a, b, kind="squared") == pytest.approx(
+        (0.01 + 0.04) / 2
+    )
+
+
+def test_truncates_to_common_rank():
+    a = _curve("a", [0.5, 0.3, 0.1])
+    b = _curve("b", [0.5])
+    assert curve_distance(a, b) == pytest.approx(0.0)
+
+
+def test_unknown_kind():
+    a = _curve("a", [0.5])
+    with pytest.raises(MetricError):
+        curve_distance(a, a, kind="chebyshev")
+
+
+def test_empty_curve_rejected():
+    a = _curve("a", [0.5])
+    empty = RankFrequencyCurve("e", np.array([]))
+    with pytest.raises(MetricError):
+        curve_distance(a, empty)
+
+
+curve_values = st.lists(st.floats(0.0, 1.0), min_size=1, max_size=30).map(
+    lambda xs: sorted(xs, reverse=True)
+)
+
+
+@given(curve_values, curve_values)
+@settings(max_examples=100)
+def test_symmetry(values_a, values_b):
+    a = _curve("a", values_a)
+    b = _curve("b", values_b)
+    assert curve_distance(a, b) == pytest.approx(curve_distance(b, a))
+    assert curve_distance(a, b, "squared") == pytest.approx(
+        curve_distance(b, a, "squared")
+    )
+
+
+@given(curve_values)
+@settings(max_examples=100)
+def test_identity(values):
+    a = _curve("a", values)
+    b = _curve("b", values)
+    assert curve_distance(a, b) == pytest.approx(0.0)
+
+
+@given(curve_values, curve_values)
+@settings(max_examples=100)
+def test_nonnegative_and_bounded(values_a, values_b):
+    a = _curve("a", values_a)
+    b = _curve("b", values_b)
+    d = curve_distance(a, b)
+    assert 0.0 <= d <= 1.0
+
+
+def test_pairwise_matrix_properties():
+    curves = [
+        _curve("x", [0.5, 0.3]),
+        _curve("y", [0.4, 0.2]),
+        _curve("z", [0.1]),
+    ]
+    matrix = pairwise_distance_matrix(curves)
+    assert matrix.labels == ("x", "y", "z")
+    assert np.allclose(matrix.matrix, matrix.matrix.T)
+    assert np.allclose(np.diag(matrix.matrix), 0.0)
+    assert matrix.distance("x", "y") == pytest.approx(0.1)
+
+
+def test_pairwise_average():
+    curves = [_curve("x", [0.5]), _curve("y", [0.3]), _curve("z", [0.1])]
+    matrix = pairwise_distance_matrix(curves)
+    assert matrix.average() == pytest.approx((0.2 + 0.4 + 0.2) / 3)
+
+
+def test_most_distinct():
+    curves = [_curve("x", [0.5]), _curve("y", [0.5]), _curve("far", [0.0])]
+    matrix = pairwise_distance_matrix(curves)
+    assert matrix.most_distinct(1)[0][0] == "far"
+
+
+def test_pairwise_needs_two():
+    with pytest.raises(MetricError):
+        pairwise_distance_matrix([_curve("x", [0.5])])
+
+
+def test_pairwise_unique_labels():
+    with pytest.raises(MetricError):
+        pairwise_distance_matrix([_curve("x", [0.5]), _curve("x", [0.4])])
+
+
+def test_unknown_label_lookup():
+    matrix = pairwise_distance_matrix([_curve("x", [0.5]), _curve("y", [0.3])])
+    with pytest.raises(MetricError):
+        matrix.distance("x", "nope")

@@ -1,0 +1,72 @@
+"""Tests for the Fig. 4 model evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.model_eval import (
+    evaluate_models,
+    model_curve_from_runs,
+)
+from repro.analysis.rank_frequency import RankFrequencyCurve
+from repro.config import MiningConfig
+from repro.errors import AnalysisError
+
+
+def _curve(label, values):
+    return RankFrequencyCurve(label, np.array(sorted(values, reverse=True)))
+
+
+def test_model_curve_from_runs_aggregates():
+    runs = [
+        [frozenset({1, 2}), frozenset({1, 2}), frozenset({3})],
+        [frozenset({1, 2}), frozenset({1, 3}), frozenset({1, 3})],
+    ]
+    curve = model_curve_from_runs(runs, "M", MiningConfig(min_support=0.3))
+    assert curve.label == "M"
+    assert len(curve) > 0
+    assert curve.frequencies[0] <= 1.0
+
+
+def test_model_curve_requires_runs():
+    with pytest.raises(AnalysisError):
+        model_curve_from_runs([], "M")
+
+
+def test_evaluate_models_ranking():
+    empirical = _curve("emp", [0.5, 0.4, 0.3])
+    close = _curve("close", [0.5, 0.35, 0.3])
+    far = _curve("far", [0.1, 0.05, 0.01])
+    evaluation = evaluate_models(
+        "ITA", empirical, {"close": close, "far": far}
+    )
+    assert evaluation.best_model == "close"
+    ranking = evaluation.ranking()
+    assert ranking[0][0] == "close"
+    assert ranking[1][0] == "far"
+    assert evaluation.distances["far"] > evaluation.distances["close"]
+
+
+def test_evaluate_models_requires_curves():
+    empirical = _curve("emp", [0.5])
+    with pytest.raises(AnalysisError):
+        evaluate_models("ITA", empirical, {})
+
+
+def test_evaluate_models_empty_empirical():
+    empirical = RankFrequencyCurve("emp", np.array([]))
+    with pytest.raises(AnalysisError):
+        evaluate_models("ITA", empirical, {"m": _curve("m", [0.1])})
+
+
+def test_distance_kind_passthrough():
+    empirical = _curve("emp", [0.5, 0.4])
+    model = _curve("m", [0.4, 0.2])
+    absolute = evaluate_models("X", empirical, {"m": model})
+    squared = evaluate_models(
+        "X", empirical, {"m": model}, distance_kind="squared"
+    )
+    assert absolute.distances["m"] == pytest.approx(0.15)
+    assert squared.distances["m"] == pytest.approx((0.01 + 0.04) / 2)
+    assert squared.distance_kind == "squared"

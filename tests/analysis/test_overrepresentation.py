@@ -1,0 +1,82 @@
+"""Tests for the Eq. 1 overrepresentation metric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.overrepresentation import (
+    overrepresentation_scores,
+    overrepresentation_table,
+    top_overrepresented,
+)
+from repro.corpus.dataset import RecipeDataset
+from repro.errors import EmptyCorpusError
+
+
+def test_scores_match_hand_computation(tiny_dataset, tiny_lexicon):
+    scores = overrepresentation_scores(tiny_dataset, "ITA", tiny_lexicon)
+    by_name = {entry.name: entry for entry in scores}
+    # tomato: 3/4 in ITA, 4/8 globally -> 0.25
+    assert by_name["tomato"].score == pytest.approx(3 / 4 - 4 / 8)
+    # basil: 3/4 in ITA, 3/8 globally -> 0.375
+    assert by_name["basil"].score == pytest.approx(3 / 4 - 3 / 8)
+    # butter: 1/4 in ITA, 1/8 globally -> 0.125
+    assert by_name["butter"].score == pytest.approx(1 / 4 - 1 / 8)
+
+
+def test_scores_sorted_descending(tiny_dataset, tiny_lexicon):
+    scores = overrepresentation_scores(tiny_dataset, "KOR", tiny_lexicon)
+    values = [entry.score for entry in scores]
+    assert values == sorted(values, reverse=True)
+
+
+def test_only_used_ingredients_scored(tiny_dataset, tiny_lexicon):
+    scores = overrepresentation_scores(tiny_dataset, "ITA", tiny_lexicon)
+    names = {entry.name for entry in scores}
+    assert "cumin" not in names  # never used in ITA
+    assert "paprika" not in names
+
+
+def test_top_overrepresented_k(tiny_dataset, tiny_lexicon):
+    top = top_overrepresented(tiny_dataset, "KOR", tiny_lexicon, k=2)
+    assert len(top) == 2
+    # cumin: 4/4 in KOR vs 4/8 globally = 0.5, the clear winner.
+    assert top[0].name == "cumin"
+
+
+def test_single_cuisine_ubiquitous_ingredient_scores_zero(tiny_lexicon):
+    from repro.corpus.recipe import Recipe
+
+    dataset = RecipeDataset(
+        [Recipe(0, "ITA", (0, 1)), Recipe(1, "ITA", (0, 2))]
+    )
+    scores = overrepresentation_scores(dataset, "ITA", tiny_lexicon)
+    by_name = {entry.name: entry for entry in scores}
+    # With one cuisine, local fraction equals global fraction.
+    assert by_name["tomato"].score == pytest.approx(0.0)
+
+
+def test_table_covers_all_regions(tiny_dataset, tiny_lexicon):
+    table = overrepresentation_table(tiny_dataset, tiny_lexicon, k=3)
+    assert set(table) == {"ITA", "KOR"}
+    assert all(len(entries) == 3 for entries in table.values())
+
+
+def test_empty_cuisine_raises(tiny_dataset, tiny_lexicon):
+    with pytest.raises(EmptyCorpusError):
+        overrepresentation_scores(tiny_dataset, "FRA", tiny_lexicon)
+
+
+def test_signature_ingredients_surface_in_synthetic_corpus(
+    small_corpus, lexicon
+):
+    """Table I signatures must rank highly in the calibrated corpus."""
+    from repro.corpus.regions import get_region
+
+    for code in small_corpus.region_codes():
+        top = {
+            entry.name
+            for entry in top_overrepresented(small_corpus, code, lexicon, k=5)
+        }
+        published = set(get_region(code).overrepresented)
+        assert len(top & published) >= 3, (code, top, published)

@@ -1,0 +1,70 @@
+"""Tests for Fig. 1 size distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.size_distribution import (
+    aggregate_size_distribution,
+    cuisine_size_distributions,
+    size_distribution,
+)
+from repro.errors import AnalysisError
+
+
+def test_histogram_counts(tiny_dataset):
+    dist = size_distribution(tiny_dataset.sizes(), "ALL")
+    assert list(dist.sizes) == [3, 4]
+    assert list(dist.counts) == [6, 2]
+    assert dist.fractions.sum() == pytest.approx(1.0)
+
+
+def test_summary_statistics(tiny_dataset):
+    dist = size_distribution(tiny_dataset.sizes(), "ALL")
+    assert dist.mean == pytest.approx(3.25)
+    assert dist.min_size == 3
+    assert dist.max_size == 4
+    assert dist.n_recipes == 8
+
+
+def test_gaussian_fit_reasonable():
+    rng = np.random.default_rng(0)
+    sizes = np.clip(np.rint(rng.normal(9, 3, 4000)), 2, 38).astype(np.int64)
+    dist = size_distribution(sizes, "X")
+    assert abs(dist.gaussian_mu - 9) < 0.3
+    assert abs(dist.gaussian_sigma - 3) < 0.4
+
+
+def test_fraction_at(tiny_dataset):
+    dist = size_distribution(tiny_dataset.sizes(), "ALL")
+    assert dist.fraction_at(3) == pytest.approx(0.75)
+    assert dist.fraction_at(4) == pytest.approx(0.25)
+    assert dist.fraction_at(10) == 0.0
+
+
+def test_empty_raises():
+    with pytest.raises(AnalysisError):
+        size_distribution(np.array([], dtype=np.int64), "X")
+
+
+def test_per_cuisine_keys(tiny_dataset):
+    dists = cuisine_size_distributions(tiny_dataset)
+    assert set(dists) == {"ITA", "KOR"}
+    assert dists["ITA"].label == "ITA"
+
+
+def test_aggregate_pools_everything(tiny_dataset):
+    aggregate = aggregate_size_distribution(tiny_dataset)
+    assert aggregate.n_recipes == 8
+    assert aggregate.label == "ALL"
+
+
+def test_synthetic_corpus_matches_paper_shape(small_corpus):
+    aggregate = aggregate_size_distribution(small_corpus)
+    assert aggregate.min_size >= 2
+    assert aggregate.max_size <= 38
+    assert 7.5 <= aggregate.mean <= 10.5
+    # Homogeneity: per-cuisine means are close to the aggregate mean.
+    for dist in cuisine_size_distributions(small_corpus).values():
+        assert abs(dist.mean - aggregate.mean) < 1.5

@@ -1,0 +1,96 @@
+"""Tests for Heaps-law vocabulary growth analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.vocabulary_growth import (
+    fit_heaps,
+    growth_from_sets,
+    vocabulary_growth_curve,
+)
+from repro.corpus.dataset import CuisineView
+from repro.errors import AnalysisError, ModelError
+from repro.lexicon.categories import Category
+from repro.models.copy_mutate import CopyMutateRandom
+from repro.models.params import CuisineSpec
+
+
+def test_growth_from_sets_hand_computed():
+    growth = growth_from_sets(
+        [frozenset({1, 2}), frozenset({2, 3}), frozenset({1}), frozenset({4})]
+    )
+    assert list(growth) == [2, 3, 3, 4]
+
+
+def test_growth_monotone_nondecreasing(small_corpus):
+    growth = vocabulary_growth_curve(small_corpus.cuisine("ITA"))
+    assert (np.diff(growth) >= 0).all()
+    assert growth[-1] == small_corpus.cuisine("ITA").n_ingredients
+
+
+def test_growth_empty_view_raises():
+    with pytest.raises(AnalysisError):
+        vocabulary_growth_curve(CuisineView("ITA", ()))
+
+
+def test_fit_heaps_exact_power_law():
+    n = np.arange(1, 200, dtype=float)
+    growth = 3.0 * n**0.6
+    fit = fit_heaps(growth)
+    assert fit.beta == pytest.approx(0.6, abs=1e-6)
+    assert fit.k == pytest.approx(3.0, rel=1e-6)
+    assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+
+def test_fit_heaps_needs_points():
+    with pytest.raises(AnalysisError):
+        fit_heaps([1, 2])
+
+
+def test_empirical_growth_sublinear(small_corpus):
+    """Cuisine vocabulary grows sub-linearly (Heaps' law)."""
+    fit = fit_heaps(vocabulary_growth_curve(small_corpus.cuisine("ITA")))
+    assert 0.0 < fit.beta < 1.0
+    assert fit.r_squared > 0.8
+
+
+def test_model_run_history_and_growth():
+    """Algorithm 1's pool trajectory: m tracks phi * n over the run."""
+    spec = CuisineSpec(
+        region_code="TST",
+        ingredient_ids=tuple(range(60)),
+        categories=tuple([Category.SPICE] * 60),
+        avg_recipe_size=5.0,
+        n_recipes=200,
+        phi=0.3,
+    )
+    run = CopyMutateRandom().run(spec, seed=1, record_history=True)
+    trajectory = run.pool_trajectory()
+    assert trajectory[0][0] == 20  # initial m
+    assert trajectory[-1][1] == 200  # final n
+    ms = np.array([m for m, _n in trajectory])
+    ns = np.array([n for _m, n in trajectory])
+    assert (np.diff(ms) >= 0).all()
+    assert (np.diff(ns) >= 0).all()
+    # At termination, pool ratio has been driven to ~phi.
+    assert ms[-1] / ns[-1] == pytest.approx(0.3, abs=0.05)
+    # Model vocabulary growth is Heaps-like too.
+    fit = fit_heaps(growth_from_sets(run.transactions))
+    assert 0.0 < fit.beta < 1.0
+
+
+def test_history_disabled_by_default():
+    spec = CuisineSpec(
+        region_code="TST",
+        ingredient_ids=tuple(range(20)),
+        categories=tuple([Category.SPICE] * 20),
+        avg_recipe_size=4.0,
+        n_recipes=30,
+        phi=20 / 30,
+    )
+    run = CopyMutateRandom().run(spec, seed=1)
+    assert run.history is None
+    with pytest.raises(ModelError):
+        run.pool_trajectory()

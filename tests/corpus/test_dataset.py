@@ -1,0 +1,117 @@
+"""Tests for RecipeDataset and CuisineView."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.dataset import CuisineView, RecipeDataset
+from repro.corpus.recipe import Recipe
+from repro.errors import CorpusError, EmptyCorpusError, UnknownRegionError
+
+
+def test_len_and_iteration(tiny_dataset):
+    assert len(tiny_dataset) == 8
+    assert len(list(tiny_dataset)) == 8
+
+
+def test_region_codes_sorted(tiny_dataset):
+    assert tiny_dataset.region_codes() == ("ITA", "KOR")
+
+
+def test_cuisine_view_contents(tiny_dataset):
+    ita = tiny_dataset.cuisine("ITA")
+    assert ita.n_recipes == 4
+    assert ita.region_code == "ITA"
+
+
+def test_cuisine_accepts_full_name(tiny_dataset):
+    assert tiny_dataset.cuisine("Italy").n_recipes == 4
+
+
+def test_cuisine_unknown_region_raises(tiny_dataset):
+    with pytest.raises(UnknownRegionError):
+        tiny_dataset.cuisine("NOWHERE")
+
+
+def test_cuisine_known_but_absent_is_empty(tiny_dataset):
+    view = tiny_dataset.cuisine("FRA")
+    assert len(view) == 0
+    assert not view
+
+
+def test_duplicate_recipe_ids_rejected():
+    with pytest.raises(CorpusError):
+        RecipeDataset([Recipe(0, "ITA", (1,)), Recipe(0, "KOR", (2,))])
+
+
+def test_view_region_mismatch_rejected():
+    with pytest.raises(CorpusError):
+        CuisineView("ITA", [Recipe(0, "KOR", (1,))])
+
+
+def test_ingredient_universe(tiny_dataset):
+    ita = tiny_dataset.cuisine("ITA")
+    assert ita.ingredient_universe() == (0, 1, 2, 3, 4, 7, 8)
+    assert ita.n_ingredients == 7
+
+
+def test_average_recipe_size(tiny_dataset):
+    ita = tiny_dataset.cuisine("ITA")
+    assert ita.average_recipe_size() == pytest.approx((4 + 3 + 3 + 3) / 4)
+
+
+def test_phi(tiny_dataset):
+    ita = tiny_dataset.cuisine("ITA")
+    assert ita.phi() == pytest.approx(7 / 4)
+
+
+def test_empty_view_statistics_raise():
+    view = CuisineView("ITA", ())
+    with pytest.raises(EmptyCorpusError):
+        view.average_recipe_size()
+    with pytest.raises(EmptyCorpusError):
+        view.phi()
+
+
+def test_ingredient_recipe_counts(tiny_dataset):
+    counts = tiny_dataset.cuisine("ITA").ingredient_recipe_counts()
+    assert counts[0] == 3  # tomato in three ITA recipes
+    assert counts[7] == 3
+    assert counts[3] == 1
+
+
+def test_global_counts(tiny_dataset):
+    counts = tiny_dataset.global_ingredient_recipe_counts()
+    assert counts[0] == 4  # tomato in 3 ITA + 1 KOR
+    assert counts[5] == 4
+
+
+def test_as_id_sets(tiny_dataset):
+    sets = tiny_dataset.cuisine("KOR").as_id_sets()
+    assert frozenset({1, 2, 5}) in sets
+
+
+def test_sizes_array(tiny_dataset):
+    sizes = tiny_dataset.sizes()
+    assert sizes.dtype == np.int64
+    assert sizes.sum() == sum(r.size for r in tiny_dataset)
+
+
+def test_filter(tiny_dataset):
+    big = tiny_dataset.filter(lambda recipe: recipe.size >= 4)
+    assert len(big) == 2
+
+
+def test_subset(tiny_dataset):
+    kor_only = tiny_dataset.subset(["KOR"])
+    assert kor_only.region_codes() == ("KOR",)
+    assert len(kor_only) == 4
+
+
+def test_total_recipes_by_region(tiny_dataset):
+    assert tiny_dataset.total_recipes_by_region() == {"ITA": 4, "KOR": 4}
+
+
+def test_empty_dataset_is_falsy():
+    assert not RecipeDataset([])

@@ -1,0 +1,87 @@
+"""Tests for dataset merge and subsampling utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.dataset import RecipeDataset
+from repro.corpus.merge import merge_datasets, reassign_ids, subsample_dataset
+from repro.corpus.recipe import Recipe
+from repro.errors import CorpusError
+
+
+def _dataset(region, n, start_id=0):
+    return RecipeDataset(
+        Recipe(start_id + i, region, (1 + i % 3, 10 + i % 2))
+        for i in range(n)
+    )
+
+
+def test_reassign_ids_sequential():
+    recipes = reassign_ids(
+        [Recipe(50, "ITA", (1, 2)), Recipe(99, "KOR", (3, 4))], start_id=7
+    )
+    assert [r.recipe_id for r in recipes] == [7, 8]
+    assert [r.region_code for r in recipes] == ["ITA", "KOR"]
+
+
+def test_merge_reassigns_overlapping_ids():
+    merged = merge_datasets([_dataset("ITA", 5), _dataset("KOR", 5)])
+    assert len(merged) == 10
+    assert merged.region_codes() == ("ITA", "KOR")
+    ids = [r.recipe_id for r in merged]
+    assert ids == list(range(10))
+
+
+def test_merge_without_reassign_conflicts():
+    with pytest.raises(CorpusError):
+        merge_datasets(
+            [_dataset("ITA", 3), _dataset("KOR", 3)], reassign=False
+        )
+
+
+def test_merge_without_reassign_disjoint_ok():
+    merged = merge_datasets(
+        [_dataset("ITA", 3), _dataset("KOR", 3, start_id=100)],
+        reassign=False,
+    )
+    assert len(merged) == 6
+
+
+def test_merge_empty_rejected():
+    with pytest.raises(CorpusError):
+        merge_datasets([])
+
+
+def test_subsample_per_cuisine(small_corpus):
+    sampled = subsample_dataset(small_corpus, 0.25, seed=1)
+    assert sampled.region_codes() == small_corpus.region_codes()
+    for code in sampled.region_codes():
+        original = small_corpus.cuisine(code).n_recipes
+        kept = sampled.cuisine(code).n_recipes
+        assert kept == max(1, round(original * 0.25))
+
+
+def test_subsample_global(small_corpus):
+    sampled = subsample_dataset(
+        small_corpus, 0.1, seed=2, per_cuisine=False
+    )
+    assert len(sampled) == round(len(small_corpus) * 0.1)
+
+
+def test_subsample_deterministic(small_corpus):
+    a = subsample_dataset(small_corpus, 0.2, seed=5)
+    b = subsample_dataset(small_corpus, 0.2, seed=5)
+    assert [r.ingredient_ids for r in a] == [r.ingredient_ids for r in b]
+
+
+def test_subsample_invalid_fraction(small_corpus):
+    with pytest.raises(CorpusError):
+        subsample_dataset(small_corpus, 0.0)
+    with pytest.raises(CorpusError):
+        subsample_dataset(small_corpus, 1.5)
+
+
+def test_subsample_full_fraction(small_corpus):
+    sampled = subsample_dataset(small_corpus, 1.0, seed=3)
+    assert len(sampled) == len(small_corpus)

@@ -1,0 +1,61 @@
+"""Tests for Recipe and RawRecipe datatypes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.recipe import RawRecipe, Recipe
+
+
+def test_recipe_sorts_and_dedupes():
+    recipe = Recipe(0, "ITA", (3, 1, 2, 1))
+    assert recipe.ingredient_ids == (1, 2, 3)
+    assert recipe.size == 3
+
+
+def test_recipe_requires_ingredients():
+    with pytest.raises(ValueError):
+        Recipe(0, "ITA", ())
+
+
+def test_recipe_contains():
+    recipe = Recipe(0, "ITA", (1, 5, 9))
+    assert recipe.contains(5)
+    assert not recipe.contains(4)
+    assert not recipe.contains(100)
+
+
+@given(st.sets(st.integers(0, 1000), min_size=1, max_size=40))
+@settings(max_examples=100)
+def test_contains_matches_membership(ids):
+    recipe = Recipe(0, "ITA", tuple(ids))
+    for candidate in list(ids)[:10]:
+        assert recipe.contains(candidate)
+    for candidate in range(1001, 1005):
+        assert not recipe.contains(candidate)
+
+
+def test_replace_ingredients():
+    recipe = Recipe(7, "KOR", (1, 2), title="t", source="s")
+    replaced = recipe.replace_ingredients((4, 3))
+    assert replaced.recipe_id == 7
+    assert replaced.region_code == "KOR"
+    assert replaced.ingredient_ids == (3, 4)
+    assert replaced.title == "t"
+    assert replaced.source == "s"
+
+
+def test_raw_recipe_requires_mentions():
+    with pytest.raises(ValueError):
+        RawRecipe(0, "title", (), "Europe", "ITA")
+
+
+def test_raw_recipe_fields():
+    raw = RawRecipe(
+        1, "Pasta", ("2 cups flour",), "Europe", "ITA",
+        country="Italy", source="allrecipes",
+    )
+    assert raw.region == "ITA"
+    assert raw.mentions == ("2 cups flour",)

@@ -1,0 +1,88 @@
+"""Tests for the Table I region registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PAPER
+from repro.corpus.regions import (
+    ALL_REGION_CODES,
+    REGIONS,
+    get_region,
+    iter_regions,
+)
+from repro.errors import UnknownRegionError
+
+
+def test_exactly_25_regions():
+    assert len(REGIONS) == PAPER.n_regions == 25
+    assert len(ALL_REGION_CODES) == 25
+    assert len(set(ALL_REGION_CODES)) == 25
+
+
+def test_published_recipe_counts():
+    counts = {region.code: region.n_recipes for region in REGIONS}
+    assert counts["ITA"] == 23179  # largest, per Sec. II
+    assert counts["CAM"] == 470    # smallest, per Sec. II
+    assert counts["INSC"] == 10531
+    assert counts["USA"] == 16026
+
+
+def test_largest_and_smallest_match_paper():
+    largest = max(REGIONS, key=lambda region: region.n_recipes)
+    smallest = min(REGIONS, key=lambda region: region.n_recipes)
+    assert largest.code == "ITA"
+    assert smallest.code == "CAM"
+
+
+def test_published_totals_note():
+    # The per-region counts sum to 158,460 — 84 short of the headline
+    # 158,544 (a published discrepancy we preserve; DESIGN.md §2).
+    assert sum(region.n_recipes for region in REGIONS) == 158460
+
+
+def test_average_counts_match_narrative():
+    # Sec. II: averages "6338 and 421 respectively".
+    avg_recipes = sum(r.n_recipes for r in REGIONS) / 25
+    avg_ingredients = sum(r.n_ingredients for r in REGIONS) / 25
+    assert round(avg_recipes) in (6338, 6337)
+    assert round(avg_ingredients) == 421
+
+
+def test_insc_preserves_six_entry_top5():
+    insc = get_region("INSC")
+    assert len(insc.overrepresented) == 6  # paper typo preserved
+
+
+def test_other_regions_have_five(
+):
+    for region in REGIONS:
+        if region.code != "INSC":
+            assert len(region.overrepresented) == 5, region.code
+
+
+def test_get_region_by_code_and_name():
+    assert get_region("ITA").name == "Italy"
+    assert get_region("ita").code == "ITA"
+    assert get_region("Italy").code == "ITA"
+    assert get_region("italy").code == "ITA"
+
+
+def test_get_region_passthrough():
+    region = get_region("UK")
+    assert get_region(region) is region
+
+
+def test_get_region_unknown_raises():
+    with pytest.raises(UnknownRegionError):
+        get_region("ATLANTIS")
+
+
+def test_phi_ratio():
+    ita = get_region("ITA")
+    assert ita.ingredients_per_recipe_ratio == pytest.approx(506 / 23179)
+
+
+def test_iter_regions_order():
+    assert iter_regions()[0].code == "AFR"
+    assert iter_regions()[-1].code == "UK"

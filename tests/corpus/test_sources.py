@@ -1,0 +1,43 @@
+"""Tests for the nine-source registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PAPER
+from repro.corpus.sources import SOURCES, source_weights, total_source_recipes
+
+
+def test_nine_sources():
+    assert len(SOURCES) == 9
+
+
+def test_counts_sum_to_headline():
+    assert total_source_recipes() == PAPER.total_recipes == 158544
+
+
+def test_genius_kitchen_dominates():
+    largest = max(SOURCES, key=lambda source: source.n_recipes)
+    assert largest.key == "geniuskitchen"
+    assert largest.n_recipes == 101226
+
+
+def test_published_counts():
+    by_key = {source.key: source.n_recipes for source in SOURCES}
+    assert by_key["allrecipes"] == 16131
+    assert by_key["foodnetwork"] == 15771
+    assert by_key["epicurious"] == 11022
+    assert by_key["tasteau"] == 7633
+    assert by_key["thespruce"] == 3830
+    assert by_key["tarladalal"] == 2538
+    assert by_key["mykoreankitchen"] == 198
+    assert by_key["kraftrecipes"] == 195
+
+
+def test_weights_sum_to_one():
+    assert sum(source_weights().values()) == pytest.approx(1.0)
+
+
+def test_unique_keys():
+    keys = [source.key for source in SOURCES]
+    assert len(set(keys)) == len(keys)

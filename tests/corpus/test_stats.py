@@ -1,0 +1,47 @@
+"""Tests for descriptive corpus statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.dataset import CuisineView, RecipeDataset
+from repro.corpus.stats import corpus_stats, cuisine_stats
+from repro.errors import EmptyCorpusError
+
+
+def test_cuisine_stats(tiny_dataset):
+    stats = cuisine_stats(tiny_dataset.cuisine("ITA"))
+    assert stats.region_code == "ITA"
+    assert stats.n_recipes == 4
+    assert stats.n_ingredients == 7
+    assert stats.avg_recipe_size == pytest.approx(3.25)
+    assert stats.min_recipe_size == 3
+    assert stats.max_recipe_size == 4
+    assert stats.phi == pytest.approx(7 / 4)
+
+
+def test_cuisine_stats_empty_raises():
+    with pytest.raises(EmptyCorpusError):
+        cuisine_stats(CuisineView("ITA", ()))
+
+
+def test_corpus_stats(tiny_dataset):
+    stats = corpus_stats(tiny_dataset)
+    assert stats.n_recipes == 8
+    assert stats.n_cuisines == 2
+    assert stats.avg_recipes_per_cuisine == pytest.approx(4.0)
+    assert stats.largest_cuisine[1] == 4
+    assert stats.smallest_cuisine[1] == 4
+    assert stats.mean_recipe_size == pytest.approx(8 * 3.25 / 8, rel=0.2)
+    assert len(stats.per_cuisine) == 2
+
+
+def test_corpus_stats_empty_raises():
+    with pytest.raises(EmptyCorpusError):
+        corpus_stats(RecipeDataset([]))
+
+
+def test_corpus_stats_identifies_largest(small_corpus):
+    stats = corpus_stats(small_corpus)
+    assert stats.largest_cuisine[0] == "ITA"  # largest of ITA/KOR/MEX
+    assert stats.smallest_cuisine[0] == "KOR"

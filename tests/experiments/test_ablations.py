@@ -1,0 +1,87 @@
+"""Tests for the ablation experiments."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_ablation_m,
+    run_ablation_metric,
+    run_ablation_minsup,
+    run_ablation_mutations,
+)
+from repro.experiments.base import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def context(lexicon, small_corpus):
+    return ExperimentContext(
+        lexicon=lexicon,
+        dataset=small_corpus,
+        scale=0.06,
+        seed=3,
+        ensemble_runs=2,
+    )
+
+
+def test_ablation_m(context):
+    result = run_ablation_m(
+        context, values=(10, 20), region_codes=("KOR",)
+    )
+    assert result.name == "ablation_m"
+    assert [row[0] for row in result.rows] == [10, 20]
+    distances = [float(d) for d in result.column("mean_distance")]
+    assert all(0 <= d <= 1 for d in distances)
+    assert "Ablation" in result.render()
+    json.dumps(result.to_payload())
+
+
+def test_ablation_mutations(context):
+    result = run_ablation_mutations(
+        context, values=(2, 4), model_names=("CM-R",),
+        region_codes=("KOR",),
+    )
+    assert result.headers == ("M", "CM-R")
+    assert len(result.rows) == 2
+
+
+def test_ablation_minsup(context):
+    result = run_ablation_minsup(context, values=(0.05, 0.15))
+    assert len(result.rows) == 2
+    # Lower support threshold yields longer curves.
+    lengths = [float(row[2]) for row in result.rows]
+    assert lengths[0] > lengths[1]
+
+
+def test_ablation_metric_conclusions_invariant(context):
+    result = run_ablation_metric(context, region_codes=("KOR",))
+    (row,) = result.rows
+    region, best_abs, sep_abs, best_sq, sep_sq = row
+    assert region == "KOR"
+    # NM never wins under either reading.
+    assert best_abs != "NM"
+    assert best_sq != "NM"
+    # Separation is substantial under both readings.
+    assert float(sep_abs.rstrip("x")) > 1.5
+    assert float(sep_sq.rstrip("x")) > 1.5
+
+
+def test_column_lookup(context):
+    result = run_ablation_minsup(context, values=(0.05,))
+    assert result.column("min_support") == [0.05]
+    with pytest.raises(ValueError):
+        result.column("nonexistent")
+
+
+def test_ablation_null_sampling(context):
+    from repro.experiments.ablations import run_ablation_null_sampling
+
+    result = run_ablation_null_sampling(context, region_codes=("KOR",))
+    (row,) = result.rows
+    region, cm, nm_pool, nm_universe = row
+    assert region == "KOR"
+    # NM fails under BOTH readings of the sampling universe.
+    assert float(nm_pool) > 2 * float(cm)
+    assert float(nm_universe) > 2 * float(cm)

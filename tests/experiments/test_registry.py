@@ -1,0 +1,39 @@
+"""Tests for the experiment registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentContext
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    available_experiments,
+    run_experiment,
+)
+
+
+def test_design_md_experiment_index_covered():
+    expected = {
+        "table1", "fig1", "fig2", "fig3", "fig4", "fig4_categories",
+        "ablation_m", "ablation_M", "ablation_minsup", "ablation_metric",
+        "ablation_null_sampling",
+    }
+    assert set(available_experiments()) == expected
+    assert set(EXPERIMENTS) == expected
+
+
+def test_run_experiment_dispatch(lexicon, small_corpus):
+    context = ExperimentContext(
+        lexicon=lexicon, dataset=small_corpus, scale=0.06
+    )
+    result = run_experiment("fig1", context)
+    assert result.to_payload()["experiment"] == "fig1"
+
+
+def test_unknown_experiment(lexicon, small_corpus):
+    context = ExperimentContext(
+        lexicon=lexicon, dataset=small_corpus, scale=0.06
+    )
+    with pytest.raises(ExperimentError):
+        run_experiment("fig99", context)

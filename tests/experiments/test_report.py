@@ -1,0 +1,58 @@
+"""Tests for the full reproduction report builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentContext
+from repro.experiments.report import build_report
+
+
+@pytest.fixture(scope="module")
+def report(lexicon, small_corpus):
+    context = ExperimentContext(
+        lexicon=lexicon,
+        dataset=small_corpus,
+        scale=0.06,
+        seed=2,
+        ensemble_runs=2,
+    )
+    return build_report(
+        context,
+        include_ablations=True,
+        fig4_regions=("KOR",),
+    )
+
+
+def test_report_sections_present(report):
+    for heading in (
+        "# Reproduction report", "## Table I", "## Fig. 1", "## Fig. 2",
+        "## Fig. 3", "## Fig. 4", "## Ablations",
+    ):
+        assert heading in report.markdown
+
+
+def test_report_headline_metrics(report):
+    headline = report.headline
+    assert headline["table1_top5_overlap"] >= 3.0
+    assert headline["fig1_in_bounds"] is True
+    assert headline["fig4_null_separation"] > 1.5
+    assert "KOR" in headline["fig4_best_by_cuisine"]
+    assert report.elapsed_seconds > 0
+
+
+def test_report_save(report, tmp_path):
+    path = report.save(tmp_path / "sub" / "report.md")
+    assert path.exists()
+    assert path.read_text() == report.markdown
+
+
+def test_report_without_ablations(lexicon, small_corpus):
+    context = ExperimentContext(
+        lexicon=lexicon, dataset=small_corpus, scale=0.06,
+        seed=2, ensemble_runs=2,
+    )
+    report = build_report(
+        context, include_ablations=False, fig4_regions=("KOR",)
+    )
+    assert "## Ablations" not in report.markdown

@@ -1,0 +1,36 @@
+"""Tests for flavor molecule entities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flavor.molecule import ODOR_DESCRIPTORS, FlavorMolecule
+
+
+def test_molecule_roundtrip():
+    molecule = FlavorMolecule(1, "limonene", ("citrus", "sweet"))
+    assert molecule.molecule_id == 1
+    assert molecule.odors == ("citrus", "sweet")
+
+
+def test_negative_id_rejected():
+    with pytest.raises(ValueError):
+        FlavorMolecule(-1, "x", ())
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ValueError):
+        FlavorMolecule(0, "", ())
+
+
+def test_shares_odor():
+    a = FlavorMolecule(0, "a", ("citrus", "sweet"))
+    b = FlavorMolecule(1, "b", ("sweet",))
+    c = FlavorMolecule(2, "c", ("woody",))
+    assert a.shares_odor_with(b)
+    assert not a.shares_odor_with(c)
+
+
+def test_odor_vocabulary_nonempty_unique():
+    assert len(ODOR_DESCRIPTORS) == len(set(ODOR_DESCRIPTORS))
+    assert len(ODOR_DESCRIPTORS) > 20

@@ -1,0 +1,62 @@
+"""Tests for the flavor network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flavor.molecule import FlavorMolecule
+from repro.flavor.network import backbone, build_flavor_network, top_pairings
+from repro.flavor.profiles import FlavorProfileSet
+
+
+@pytest.fixture()
+def toy_profiles() -> FlavorProfileSet:
+    molecules = tuple(FlavorMolecule(i, f"m{i}", ()) for i in range(8))
+    return FlavorProfileSet(
+        molecules=molecules,
+        profiles={
+            "a": frozenset({0, 1, 2, 3}),
+            "b": frozenset({0, 1, 2}),
+            "c": frozenset({3}),
+            "d": frozenset({7}),
+        },
+    )
+
+
+def test_edges_and_weights(toy_profiles):
+    graph = build_flavor_network(toy_profiles)
+    assert graph["a"]["b"]["weight"] == 3
+    assert graph["a"]["c"]["weight"] == 1
+    assert not graph.has_edge("b", "c")
+    assert not graph.has_edge("a", "d")
+
+
+def test_all_nodes_present_even_isolated(toy_profiles):
+    graph = build_flavor_network(toy_profiles)
+    assert set(graph.nodes) == {"a", "b", "c", "d"}
+
+
+def test_min_shared_threshold(toy_profiles):
+    graph = build_flavor_network(toy_profiles, min_shared=2)
+    assert graph.has_edge("a", "b")
+    assert not graph.has_edge("a", "c")
+
+
+def test_backbone(toy_profiles):
+    graph = build_flavor_network(toy_profiles)
+    strong = backbone(graph, min_weight=3)
+    assert strong.has_edge("a", "b")
+    assert not strong.has_edge("a", "c")
+    assert set(strong.nodes) == set(graph.nodes)
+
+
+def test_top_pairings_order(toy_profiles):
+    graph = build_flavor_network(toy_profiles)
+    ranked = top_pairings(graph, k=2)
+    assert ranked[0] == ("a", "b", 3)
+    assert ranked[1][2] == 1
+
+
+def test_node_subset(toy_profiles):
+    graph = build_flavor_network(toy_profiles, ingredients=["a", "b"])
+    assert set(graph.nodes) == {"a", "b"}

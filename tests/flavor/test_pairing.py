@@ -1,0 +1,75 @@
+"""Tests for food-pairing statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.flavor.pairing import food_pairing_bias, mean_shared_compounds
+from repro.flavor.profiles import FlavorProfileSet
+from repro.flavor.molecule import FlavorMolecule
+
+
+@pytest.fixture()
+def toy_profiles() -> FlavorProfileSet:
+    molecules = tuple(
+        FlavorMolecule(i, f"m{i}", ("sweet",)) for i in range(6)
+    )
+    return FlavorProfileSet(
+        molecules=molecules,
+        profiles={
+            "a": frozenset({0, 1, 2}),
+            "b": frozenset({1, 2, 3}),
+            "c": frozenset({4}),
+            "d": frozenset({5}),
+        },
+    )
+
+
+def test_mean_shared_compounds_exact(toy_profiles):
+    # recipe [a, b]: one pair sharing {1, 2} -> N_s = 2.
+    assert mean_shared_compounds([["a", "b"]], toy_profiles) == pytest.approx(2.0)
+
+
+def test_mean_shared_multiple_recipes(toy_profiles):
+    # [a, b] -> 2; [c, d] -> 0; mean = 1.
+    value = mean_shared_compounds([["a", "b"], ["c", "d"]], toy_profiles)
+    assert value == pytest.approx(1.0)
+
+
+def test_recipe_normalization(toy_profiles):
+    # [a, b, c]: pairs (a,b)=2, (a,c)=0, (b,c)=0 -> 2*2/(3*2) = 2/3.
+    value = mean_shared_compounds([["a", "b", "c"]], toy_profiles)
+    assert value == pytest.approx(2.0 / 3.0)
+
+
+def test_no_valid_recipe_raises(toy_profiles):
+    with pytest.raises(AnalysisError):
+        mean_shared_compounds([["a"]], toy_profiles)
+
+
+def test_pairing_bias_positive_for_sharing_corpus(toy_profiles):
+    # A corpus always pairing a+b (sharing) vs a vocabulary including
+    # non-sharers must show positive bias.
+    result = food_pairing_bias(
+        [["a", "b"]] * 30,
+        toy_profiles,
+        vocabulary=["a", "b", "c", "d"],
+        n_shuffles=30,
+        seed=1,
+    )
+    assert result.observed == pytest.approx(2.0)
+    assert result.bias > 0
+    assert result.n_recipes == 30
+
+
+def test_pairing_bias_requires_vocabulary(toy_profiles):
+    with pytest.raises(AnalysisError):
+        food_pairing_bias([["a", "b"]], toy_profiles, vocabulary=["a"], seed=0)
+
+
+def test_pairing_bias_deterministic(toy_profiles):
+    kwargs = dict(vocabulary=["a", "b", "c", "d"], n_shuffles=5, seed=9)
+    r1 = food_pairing_bias([["a", "b"], ["a", "c"]], toy_profiles, **kwargs)
+    r2 = food_pairing_bias([["a", "b"], ["a", "c"]], toy_profiles, **kwargs)
+    assert r1 == r2

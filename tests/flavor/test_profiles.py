@@ -1,0 +1,75 @@
+"""Tests for synthetic flavor profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flavor.profiles import build_flavor_profiles
+from repro.lexicon.builder import build_standard_lexicon
+
+
+@pytest.fixture(scope="module")
+def profiles(lexicon):
+    return build_flavor_profiles(lexicon, seed=3)
+
+
+# hypothesis-free structural checks over the full lexicon ------------------
+
+
+def test_every_entity_profiled(lexicon, profiles):
+    for ingredient in lexicon:
+        assert ingredient.name in profiles.profiles
+
+
+def test_profiles_nonempty_for_simple(lexicon, profiles):
+    for ingredient in lexicon.simple_ingredients:
+        assert profiles.profile_of(ingredient.name)
+
+
+def test_compounds_inherit_component_union(lexicon, profiles):
+    for compound in lexicon.compound_ingredients:
+        expected = frozenset()
+        for component in compound.components:
+            expected |= profiles.profile_of(component)
+        assert profiles.profile_of(compound.name) == expected
+
+
+def test_same_category_share_more(lexicon, profiles):
+    """Category cores make same-category pairs share more compounds."""
+    from repro.lexicon.categories import Category
+
+    spices = [i.name for i in lexicon.by_category(Category.SPICE)[:8]]
+    fish = [i.name for i in lexicon.by_category(Category.FISH)[:8]]
+    within = [
+        profiles.n_shared(a, b)
+        for i, a in enumerate(spices)
+        for b in spices[i + 1:]
+    ]
+    across = [profiles.n_shared(a, b) for a in spices for b in fish]
+    assert sum(within) / len(within) > sum(across) / len(across)
+
+
+def test_deterministic(lexicon):
+    a = build_flavor_profiles(lexicon, seed=5)
+    b = build_flavor_profiles(lexicon, seed=5)
+    assert a.profiles == b.profiles
+
+
+def test_different_seed_differs(lexicon):
+    a = build_flavor_profiles(lexicon, seed=5)
+    b = build_flavor_profiles(lexicon, seed=6)
+    assert a.profiles != b.profiles
+
+
+def test_unknown_ingredient_has_empty_profile(profiles):
+    assert profiles.profile_of("unobtainium") == frozenset()
+
+
+def test_mean_profile_size_positive(profiles):
+    assert profiles.mean_profile_size() > 10
+
+
+def test_shared_compounds_symmetric(profiles):
+    a = profiles.shared_compounds("tomato", "basil")
+    b = profiles.shared_compounds("basil", "tomato")
+    assert a == b

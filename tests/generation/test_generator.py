@@ -1,0 +1,174 @@
+"""Tests for constrained novel-recipe generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generation.generator import (
+    GeneratedRecipe,
+    GenerationConstraints,
+    GenerationError,
+    RecipeGenerator,
+)
+from repro.lexicon.categories import Category
+from repro.models.copy_mutate import CopyMutateCategory
+from repro.models.params import CuisineSpec
+
+
+@pytest.fixture(scope="module")
+def evolved_run(lexicon, small_corpus):
+    view = small_corpus.cuisine("ITA")
+    spec = CuisineSpec.from_view(view, lexicon)
+    return CopyMutateCategory().run(spec, seed=3)
+
+
+@pytest.fixture(scope="module")
+def generator(evolved_run, lexicon, small_corpus):
+    reference = small_corpus.cuisine("ITA").as_id_sets()
+    return RecipeGenerator(evolved_run, lexicon, reference=reference)
+
+
+def test_unconstrained_generation(generator):
+    recipe = generator.generate(seed=1)
+    assert isinstance(recipe, GeneratedRecipe)
+    assert 2 <= recipe.size <= 38
+    assert len(recipe.names) == recipe.size
+    assert recipe.source_model == "CM-C"
+
+
+def test_include_constraint(generator):
+    constraints = GenerationConstraints(include=("tomato", "basil"))
+    recipe = generator.generate(constraints, seed=2)
+    assert "tomato" in recipe.names
+    assert "basil" in recipe.names
+
+
+def test_include_via_alias(generator):
+    constraints = GenerationConstraints(include=("soy sauce",))
+    recipe = generator.generate(constraints, seed=3)
+    assert "soybean sauce" in recipe.names
+
+
+def test_exclude_category(generator, lexicon):
+    constraints = GenerationConstraints(exclude_categories=("Meat", "Fish"))
+    recipe = generator.generate(constraints, seed=4)
+    categories = {lexicon.category_of(i) for i in recipe.ingredient_ids}
+    assert Category.MEAT not in categories
+    assert Category.FISH not in categories
+
+
+def test_exclude_ingredient(generator):
+    constraints = GenerationConstraints(exclude=("garlic",))
+    recipe = generator.generate(constraints, seed=5)
+    assert "garlic" not in recipe.names
+
+
+def test_size_bounds(generator):
+    constraints = GenerationConstraints(min_size=5, max_size=6)
+    recipe = generator.generate(constraints, seed=6)
+    assert 5 <= recipe.size <= 6
+
+
+def test_novelty_against_reference(generator, small_corpus):
+    reference = set(small_corpus.cuisine("ITA").as_id_sets())
+    for seed in range(5):
+        recipe = generator.generate(seed=seed)
+        assert frozenset(recipe.ingredient_ids) not in reference
+
+
+def test_generate_many_distinct(generator):
+    recipes = generator.generate_many(8, seed=7)
+    assert len({r.ingredient_ids for r in recipes}) == 8
+
+
+def test_contradictory_constraints_rejected(generator):
+    with pytest.raises(GenerationError):
+        generator.generate(
+            GenerationConstraints(include=("beef",),
+                                  exclude_categories=("Meat",)),
+            seed=0,
+        )
+    with pytest.raises(GenerationError):
+        generator.generate(
+            GenerationConstraints(include=("tomato",), exclude=("tomato",)),
+            seed=0,
+        )
+
+
+def test_unknown_include_rejected(generator):
+    with pytest.raises(GenerationError):
+        generator.generate(
+            GenerationConstraints(include=("powdered dragon scale",)), seed=0
+        )
+
+
+def test_invalid_size_bounds():
+    with pytest.raises(GenerationError):
+        GenerationConstraints(min_size=0)
+    with pytest.raises(GenerationError):
+        GenerationConstraints(min_size=10, max_size=5)
+
+
+def test_too_many_includes_rejected(generator):
+    with pytest.raises(GenerationError):
+        generator.generate(
+            GenerationConstraints(
+                include=("tomato", "basil", "garlic", "onion"), max_size=3
+            ),
+            seed=0,
+        )
+
+
+def test_empty_run_rejected(lexicon, evolved_run):
+    from dataclasses import replace
+
+    empty = replace(evolved_run, transactions=[])
+    with pytest.raises(GenerationError):
+        RecipeGenerator(empty, lexicon)
+
+
+def test_deterministic(generator):
+    a = generator.generate(seed=42)
+    b = generator.generate(seed=42)
+    assert a.ingredient_ids == b.ingredient_ids
+
+
+# ---------------------------------------------------------------------------
+# Property-based constraint satisfaction
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+@given(
+    st.sets(
+        st.sampled_from(["tomato", "basil", "garlic", "onion"]),
+        max_size=2,
+    ),
+    st.sets(
+        st.sampled_from(["Meat", "Fish", "Seafood", "Beverage Alcoholic"]),
+        max_size=2,
+    ),
+    st.integers(3, 8),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_generated_recipes_satisfy_constraints(
+    generator, lexicon, include, exclude_categories, min_size, seed
+):
+    from repro.lexicon.categories import parse_category
+
+    constraints = GenerationConstraints(
+        include=tuple(sorted(include)),
+        exclude_categories=tuple(sorted(exclude_categories)),
+        min_size=min_size,
+        max_size=min_size + 6,
+    )
+    recipe = generator.generate(constraints, seed=seed)
+    assert constraints.min_size <= recipe.size <= constraints.max_size
+    for name in include:
+        assert name in recipe.names
+    banned = {parse_category(c) for c in exclude_categories}
+    for ingredient_id in recipe.ingredient_ids:
+        assert lexicon.category_of(ingredient_id) not in banned

@@ -1,0 +1,213 @@
+"""Tests for the aliasing protocol, including property-based checks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AliasConflictError
+from repro.lexicon.aliasing import (
+    DESCRIPTOR_WORDS,
+    STOP_WORDS,
+    UNIT_WORDS,
+    AliasResolver,
+    normalize_mention,
+    singularize,
+)
+from repro.lexicon.categories import Category
+from repro.lexicon.ingredient import Ingredient
+
+
+# ---------------------------------------------------------------------------
+# normalize_mention
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "raw, expected",
+    [
+        ("2 cups flour", "flour"),
+        ("1/2 tsp salt", "salt"),
+        ("3 cloves garlic, minced", "clove garlic minced"),
+        ("Fresh Basil Leaves", "fresh basil leaf"),
+        ("1 (14 oz) can coconut milk", "coconut milk"),
+        ("butter, softened", "butter softened"),
+        ("juice of 1 lemon", "juice lemon"),
+        ("", ""),
+        ("2 1/2", ""),
+    ],
+)
+def test_normalize_examples(raw, expected):
+    assert normalize_mention(raw) == expected
+
+
+def test_normalize_removes_parentheticals():
+    assert normalize_mention("1 (about 3 pounds) chicken") == "chicken"
+
+
+@given(st.text(max_size=80))
+@settings(max_examples=200)
+def test_normalize_idempotent(text):
+    once = normalize_mention(text)
+    assert normalize_mention(once) == once
+
+
+@given(st.text(max_size=80))
+@settings(max_examples=200)
+def test_normalize_output_shape(text):
+    result = normalize_mention(text)
+    assert result == result.strip().lower()
+    assert "  " not in result
+    for token in result.split():
+        assert token not in UNIT_WORDS
+        assert token not in STOP_WORDS
+
+
+# ---------------------------------------------------------------------------
+# singularize
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "plural, singular",
+    [
+        ("tomatoes", "tomato"),
+        ("berries", "berry"),
+        ("leaves", "leaf"),
+        ("onions", "onion"),
+        ("molasses", "molasses"),
+        ("asparagus", "asparagus"),
+        ("couscous", "couscous"),
+        ("eggs", "egg"),
+        ("peaches", "peach"),
+        ("radishes", "radish"),
+        ("chives", "chive"),
+    ],
+)
+def test_singularize_examples(plural, singular):
+    assert singularize(plural) == singular
+
+
+def test_singularize_short_tokens_untouched():
+    assert singularize("gas") == "gas"
+    assert singularize("is") == "is"
+
+
+# ---------------------------------------------------------------------------
+# AliasResolver on a controlled lexicon
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def resolver() -> AliasResolver:
+    ingredients = [
+        Ingredient(0, "tomato", Category.VEGETABLE),
+        Ingredient(1, "tomato puree", Category.ADDITIVE,
+                   is_compound=True, components=("tomato",)),
+        Ingredient(2, "soybean sauce", Category.ADDITIVE,
+                   aliases=("soy sauce",)),
+        Ingredient(3, "garlic", Category.VEGETABLE,
+                   aliases=("garlic clove", "cloves garlic")),
+        Ingredient(4, "clove", Category.SPICE),
+        Ingredient(5, "olive", Category.FRUIT),
+        Ingredient(6, "olive oil", Category.ESSENTIAL_OIL,
+                   aliases=("extra virgin olive oil",)),
+    ]
+    return AliasResolver(ingredients)
+
+
+def test_longest_match_wins_compound(resolver):
+    assert resolver.resolve("2 cups tomato puree").ingredient.name == "tomato puree"
+
+
+def test_longest_match_wins_oil(resolver):
+    assert resolver.resolve("olive oil").ingredient.name == "olive oil"
+    assert resolver.resolve("3 olives").ingredient.name == "olive"
+
+
+def test_alias_resolution(resolver):
+    assert resolver.resolve("1 tbsp soy sauce").ingredient.name == "soybean sauce"
+
+
+def test_descriptor_stripping(resolver):
+    assert resolver.resolve("finely chopped fresh tomato").ingredient.name == "tomato"
+
+
+def test_garlic_vs_clove_disambiguation(resolver):
+    assert resolver.resolve("2 cloves garlic").ingredient.name == "garlic"
+    assert resolver.resolve("3 whole cloves").ingredient.name == "clove"
+
+
+def test_plural_mentions(resolver):
+    assert resolver.resolve("tomatoes").ingredient.name == "tomato"
+
+
+def test_unresolvable_returns_none(resolver):
+    resolution = resolver.resolve("unicorn tears")
+    assert resolution.ingredient is None
+    assert not resolution.resolved
+
+
+def test_empty_mention(resolver):
+    assert resolver.resolve("").ingredient is None
+    assert resolver.resolve("2 1/2 cups").ingredient is None
+
+
+def test_window_fallback_extracts_entity(resolver):
+    resolution = resolver.resolve("organic heritage tomato from the garden")
+    assert resolution.ingredient.name == "tomato"
+
+
+def test_resolve_many_preserves_order(resolver):
+    resolutions = resolver.resolve_many(["tomato", "soy sauce"])
+    assert [r.ingredient.name for r in resolutions] == ["tomato", "soybean sauce"]
+
+
+def test_conflicting_aliases_raise():
+    with pytest.raises(AliasConflictError):
+        AliasResolver(
+            [
+                Ingredient(0, "soybean sauce", Category.ADDITIVE,
+                           aliases=("soy",)),
+                Ingredient(1, "soybean", Category.LEGUME, aliases=("soy",)),
+            ]
+        )
+
+
+def test_duplicate_alias_same_entity_ok():
+    resolver = AliasResolver(
+        [Ingredient(0, "pepper", Category.SPICE,
+                    aliases=("peppercorn", "peppercorns"))]
+    )
+    assert resolver.resolve("peppercorns").ingredient.name == "pepper"
+
+
+# ---------------------------------------------------------------------------
+# Protocol properties on the full standard lexicon
+# ---------------------------------------------------------------------------
+
+
+def test_every_canonical_name_resolves_to_itself(lexicon):
+    for ingredient in lexicon:
+        resolution = lexicon.resolve(ingredient.name)
+        assert resolution.ingredient is not None, ingredient.name
+        assert resolution.ingredient.name == ingredient.name
+
+
+def test_every_alias_resolves_to_its_entity(lexicon):
+    for ingredient in lexicon:
+        for alias in ingredient.aliases:
+            resolution = lexicon.resolve(alias)
+            assert resolution.ingredient is not None, alias
+            assert resolution.ingredient.name == ingredient.name, alias
+
+
+def test_descriptors_do_not_shadow_canonical_names(lexicon):
+    # A canonical name wrapped in descriptors must still resolve to the
+    # same entity.
+    for ingredient in list(lexicon)[::23]:
+        wrapped = f"2 cups fresh chopped {ingredient.name}"
+        resolution = lexicon.resolve(wrapped)
+        assert resolution.ingredient is not None, wrapped
+        assert resolution.ingredient.name == ingredient.name, wrapped

@@ -1,0 +1,59 @@
+"""Fuzz tests: the aliasing protocol never crashes and stays consistent."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lexicon.aliasing import normalize_mention
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=300, deadline=None)
+def test_resolver_total_on_arbitrary_text(lexicon, text):
+    """resolve() accepts any string and returns a coherent Resolution."""
+    resolution = lexicon.resolve(text)
+    assert resolution.normalized == normalize_mention(text)
+    if resolution.ingredient is not None:
+        assert resolution.resolved
+        assert resolution.matched_form
+        # The matched form itself must resolve to the same entity.
+        again = lexicon.resolve(resolution.matched_form)
+        assert again.ingredient is not None
+        assert again.ingredient.name == resolution.ingredient.name
+    else:
+        assert not resolution.resolved
+        assert resolution.matched_form == ""
+
+
+@given(
+    st.lists(
+        st.sampled_from([
+            "2", "1/2", "cups", "tbsp", "fresh", "chopped", "tomato",
+            "garlic", "soy", "sauce", "olive", "oil", "and", "of", "-",
+            ",", "(", ")", "LARGE", "Paste", "ginger",
+        ]),
+        min_size=0,
+        max_size=10,
+    )
+)
+@settings(max_examples=300, deadline=None)
+def test_resolver_on_recipe_like_token_soup(lexicon, tokens):
+    """Recipe-shaped token soup never crashes the protocol."""
+    mention = " ".join(tokens)
+    resolution = lexicon.resolve(mention)
+    if resolution.ingredient is not None:
+        assert resolution.ingredient.name in lexicon.names
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz -'", max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_resolution_idempotent_under_renormalization(lexicon, text):
+    """Resolving the normalized form gives the same entity."""
+    first = lexicon.resolve(text)
+    second = lexicon.resolve(first.normalized)
+    if first.ingredient is None:
+        assert second.ingredient is None
+    else:
+        assert second.ingredient is not None
+        assert second.ingredient.name == first.ingredient.name

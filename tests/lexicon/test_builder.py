@@ -1,0 +1,110 @@
+"""Tests for standard lexicon construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PAPER
+from repro.errors import LexiconError
+from repro.lexicon import _seed_data as seed
+from repro.lexicon.builder import (
+    MIN_CATEGORY_SIZE,
+    build_standard_lexicon,
+    standard_lexicon,
+)
+from repro.lexicon.categories import Category
+
+
+def test_paper_exact_counts(lexicon):
+    assert len(lexicon) == PAPER.n_lexicon_entities == 721
+    assert len(lexicon.compound_ingredients) == PAPER.n_compound_ingredients == 96
+    assert len(lexicon.simple_ingredients) == 721 - 96 == 625
+
+
+def test_every_category_populated(lexicon):
+    sizes = lexicon.category_sizes()
+    assert set(sizes) == set(Category)
+    for category, size in sizes.items():
+        assert size >= 1, category
+
+
+def test_simple_categories_meet_floor(lexicon):
+    simple_sizes: dict[Category, int] = {}
+    for ingredient in lexicon.simple_ingredients:
+        simple_sizes[ingredient.category] = (
+            simple_sizes.get(ingredient.category, 0) + 1
+        )
+    for category, size in simple_sizes.items():
+        assert size >= MIN_CATEGORY_SIZE, category
+
+
+def test_deterministic_build(lexicon):
+    rebuilt = build_standard_lexicon()
+    assert rebuilt.to_records() == lexicon.to_records()
+
+
+def test_standard_lexicon_cached():
+    assert standard_lexicon() is standard_lexicon()
+
+
+def test_protected_names_survive(lexicon):
+    for name in seed.PROTECTED_NAMES:
+        assert lexicon.get(name) is not None, name
+
+
+def test_table1_signatures_survive(lexicon):
+    from repro.corpus.regions import REGIONS
+
+    for region in REGIONS:
+        for name in region.overrepresented:
+            assert lexicon.get(name) is not None, (region.code, name)
+
+
+def test_compound_components_resolve(lexicon):
+    for compound in lexicon.compound_ingredients:
+        for component in compound.components:
+            assert lexicon.get(component) is not None, (
+                compound.name, component,
+            )
+
+
+def test_ids_are_dense_and_sorted(lexicon):
+    ids = lexicon.ids
+    assert ids == tuple(range(len(lexicon)))
+
+
+def test_custom_smaller_lexicon():
+    small = build_standard_lexicon(n_simple=400, n_compound=40)
+    assert len(small.simple_ingredients) == 400
+    assert len(small.compound_ingredients) == 40
+
+
+def test_padding_path_mints_generated_entities():
+    big = build_standard_lexicon(n_simple=800, n_compound=96)
+    assert len(big.simple_ingredients) == 800
+    generated = [i for i in big.simple_ingredients if not i.curated]
+    assert generated, "expected minted long-tail entities"
+    # Minted names are modifier + curated base.
+    assert all(" " in i.name for i in generated)
+
+
+def test_compound_padding_path():
+    extra = build_standard_lexicon(n_simple=625, n_compound=120)
+    assert len(extra.compound_ingredients) == 120
+    padded = [c for c in extra.compound_ingredients if not c.curated]
+    assert padded
+    for compound in padded:
+        assert compound.components
+
+
+def test_invalid_sizes_rejected():
+    with pytest.raises(LexiconError):
+        build_standard_lexicon(n_simple=0)
+    with pytest.raises(LexiconError):
+        build_standard_lexicon(n_compound=-1)
+
+
+def test_overly_small_simple_target_rejected():
+    # Cannot trim below the protected set.
+    with pytest.raises(LexiconError):
+        build_standard_lexicon(n_simple=50, n_compound=96)

@@ -1,0 +1,78 @@
+"""Tests for the 21 paper categories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PAPER
+from repro.errors import UnknownCategoryError
+from repro.lexicon.categories import (
+    CATEGORY_INFO,
+    CORE_CATEGORIES,
+    Category,
+    parse_category,
+)
+
+
+def test_exactly_21_categories():
+    assert len(Category) == PAPER.n_categories == 21
+
+
+def test_paper_category_names_present():
+    values = {category.value for category in Category}
+    for name in (
+        "Vegetable", "Dairy", "Legume", "Maize", "Cereal", "Meat",
+        "Nuts and Seeds", "Plant", "Fish", "Seafood", "Spice", "Bakery",
+        "Beverage Alcoholic", "Beverage", "Essential Oil", "Flower",
+        "Fruit", "Fungus", "Herb", "Additive", "Dish",
+    ):
+        assert name in values
+
+
+def test_parse_category_by_value():
+    assert parse_category("Spice") is Category.SPICE
+    assert parse_category("nuts and seeds") is Category.NUTS_AND_SEEDS
+
+
+def test_parse_category_by_enum_name():
+    assert parse_category("NUTS_AND_SEEDS") is Category.NUTS_AND_SEEDS
+    assert parse_category("beverage_alcoholic") is Category.BEVERAGE_ALCOHOLIC
+
+
+def test_parse_category_passthrough():
+    assert parse_category(Category.HERB) is Category.HERB
+
+
+def test_parse_category_unknown_raises():
+    with pytest.raises(UnknownCategoryError):
+        parse_category("Unobtainium")
+
+
+def test_category_info_covers_all_categories():
+    assert set(CATEGORY_INFO) == set(Category)
+
+
+def test_category_info_display_orders_unique():
+    orders = [info.display_order for info in CATEGORY_INFO.values()]
+    assert len(set(orders)) == len(orders)
+
+
+def test_core_categories_are_the_papers_seven():
+    assert set(CORE_CATEGORIES) == {
+        Category.VEGETABLE, Category.ADDITIVE, Category.SPICE,
+        Category.DAIRY, Category.HERB, Category.PLANT, Category.FRUIT,
+    }
+
+
+def test_core_categories_have_high_staple_weight():
+    core_weights = [CATEGORY_INFO[c].staple_weight for c in CORE_CATEGORIES]
+    other_weights = [
+        info.staple_weight
+        for category, info in CATEGORY_INFO.items()
+        if category not in CORE_CATEGORIES
+    ]
+    assert min(core_weights) >= max(other_weights)
+
+
+def test_str_is_display_value():
+    assert str(Category.ESSENTIAL_OIL) == "Essential Oil"

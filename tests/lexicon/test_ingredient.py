@@ -1,0 +1,55 @@
+"""Tests for the Ingredient entity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lexicon.categories import Category
+from repro.lexicon.ingredient import Ingredient
+
+
+def test_simple_ingredient_roundtrip():
+    ing = Ingredient(1, "tomato", Category.VEGETABLE, aliases=("roma tomato",))
+    assert ing.name == "tomato"
+    assert not ing.is_compound
+    assert ing.surface_forms == ("tomato", "roma tomato")
+
+
+def test_compound_requires_components():
+    with pytest.raises(ValueError):
+        Ingredient(1, "tomato puree", Category.ADDITIVE, is_compound=True)
+
+
+def test_simple_rejects_components():
+    with pytest.raises(ValueError):
+        Ingredient(1, "tomato", Category.VEGETABLE, components=("x",))
+
+
+def test_name_must_be_lowercase():
+    with pytest.raises(ValueError):
+        Ingredient(1, "Tomato", Category.VEGETABLE)
+
+
+def test_name_must_be_stripped():
+    with pytest.raises(ValueError):
+        Ingredient(1, " tomato", Category.VEGETABLE)
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ValueError):
+        Ingredient(1, "", Category.VEGETABLE)
+
+
+def test_compound_with_components_ok():
+    ing = Ingredient(
+        2, "ginger garlic paste", Category.ADDITIVE,
+        is_compound=True, components=("ginger", "garlic"),
+    )
+    assert ing.components == ("ginger", "garlic")
+    assert str(ing) == "ginger garlic paste"
+
+
+def test_frozen():
+    ing = Ingredient(1, "tomato", Category.VEGETABLE)
+    with pytest.raises(AttributeError):
+        ing.name = "potato"  # type: ignore[misc]

@@ -1,0 +1,112 @@
+"""Tests for the Lexicon container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LexiconError, UnknownIngredientError
+from repro.lexicon.categories import Category
+from repro.lexicon.ingredient import Ingredient
+from repro.lexicon.lexicon import Lexicon
+
+
+def test_lookup_by_id(tiny_lexicon):
+    assert tiny_lexicon.by_id(0).name == "tomato"
+
+
+def test_lookup_by_name(tiny_lexicon):
+    assert tiny_lexicon.by_name("tomato").ingredient_id == 0
+    assert tiny_lexicon.by_name("  Tomato ").ingredient_id == 0
+
+
+def test_unknown_lookups_raise(tiny_lexicon):
+    with pytest.raises(UnknownIngredientError):
+        tiny_lexicon.by_id(999)
+    with pytest.raises(UnknownIngredientError):
+        tiny_lexicon.by_name("saffron gold")
+
+
+def test_get_returns_none(tiny_lexicon):
+    assert tiny_lexicon.get("nonexistent") is None
+    assert tiny_lexicon.get("tomato") is not None
+
+
+def test_contains(tiny_lexicon):
+    assert "tomato" in tiny_lexicon
+    assert 0 in tiny_lexicon
+    assert tiny_lexicon.by_id(0) in tiny_lexicon
+    assert "dragon" not in tiny_lexicon
+    assert 3.5 not in tiny_lexicon
+
+
+def test_by_category(tiny_lexicon):
+    vegetables = tiny_lexicon.by_category(Category.VEGETABLE)
+    assert [v.name for v in vegetables] == ["tomato", "onion", "garlic"]
+    spices = tiny_lexicon.by_category("Spice")
+    assert [s.name for s in spices] == ["cumin", "paprika"]
+
+
+def test_iteration_ordered_by_id(tiny_lexicon):
+    ids = [i.ingredient_id for i in tiny_lexicon]
+    assert ids == sorted(ids)
+
+
+def test_resolve_uses_protocol(tiny_lexicon):
+    assert tiny_lexicon.resolve("2 roma tomatoes").ingredient.name == "tomato"
+
+
+def test_category_of(tiny_lexicon):
+    assert tiny_lexicon.category_of(5) is Category.SPICE
+
+
+def test_duplicate_ids_rejected():
+    with pytest.raises(LexiconError):
+        Lexicon(
+            [
+                Ingredient(0, "a", Category.SPICE),
+                Ingredient(0, "b", Category.SPICE),
+            ]
+        )
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(LexiconError):
+        Lexicon(
+            [
+                Ingredient(0, "a", Category.SPICE),
+                Ingredient(1, "a", Category.SPICE),
+            ]
+        )
+
+
+def test_unknown_component_rejected():
+    with pytest.raises(LexiconError):
+        Lexicon(
+            [
+                Ingredient(0, "a paste", Category.ADDITIVE,
+                           is_compound=True, components=("missing",)),
+            ]
+        )
+
+
+def test_records_roundtrip(tiny_lexicon):
+    rebuilt = Lexicon.from_records(tiny_lexicon.to_records())
+    assert rebuilt.to_records() == tiny_lexicon.to_records()
+
+
+def test_save_load_roundtrip(tiny_lexicon, tmp_path):
+    path = tmp_path / "lexicon.json"
+    tiny_lexicon.save(path)
+    loaded = Lexicon.load(path)
+    assert loaded.to_records() == tiny_lexicon.to_records()
+
+
+def test_category_sizes(tiny_lexicon):
+    sizes = tiny_lexicon.category_sizes()
+    assert sizes[Category.VEGETABLE] == 3
+    assert sizes[Category.DAIRY] == 2
+    assert sizes[Category.MAIZE] == 0
+
+
+def test_names_and_ids_aligned(tiny_lexicon):
+    assert len(tiny_lexicon.names) == len(tiny_lexicon.ids) == 10

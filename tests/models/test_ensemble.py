@@ -1,0 +1,89 @@
+"""Tests for ensemble running and aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MiningConfig
+from repro.errors import ModelError
+from repro.lexicon.categories import Category
+from repro.models.copy_mutate import CopyMutateRandom
+from repro.models.ensemble import ensemble_curve, run_ensemble
+from repro.models.params import CuisineSpec
+
+
+def _spec(n_recipes=80):
+    return CuisineSpec(
+        region_code="TST",
+        ingredient_ids=tuple(range(30)),
+        categories=tuple([Category.SPICE] * 30),
+        avg_recipe_size=5.0,
+        n_recipes=n_recipes,
+        phi=30 / n_recipes,
+    )
+
+
+def test_run_ensemble_counts():
+    result = run_ensemble(CopyMutateRandom(), _spec(), n_runs=4, seed=0)
+    assert result.n_runs == 4
+    assert result.model_name == "CM-R"
+    assert result.region_code == "TST"
+    assert all(run.n_recipes == 80 for run in result.runs)
+
+
+def test_runs_are_independent():
+    result = run_ensemble(CopyMutateRandom(), _spec(), n_runs=3, seed=0)
+    assert result.runs[0].transactions != result.runs[1].transactions
+
+
+def test_ensemble_deterministic():
+    a = run_ensemble(CopyMutateRandom(), _spec(), n_runs=3, seed=5)
+    b = run_ensemble(CopyMutateRandom(), _spec(), n_runs=3, seed=5)
+    assert [r.transactions for r in a.runs] == [r.transactions for r in b.runs]
+
+
+def test_ingredient_curve_aggregated():
+    result = run_ensemble(
+        CopyMutateRandom(), _spec(), n_runs=4, seed=1,
+        mining=MiningConfig(min_support=0.05),
+    )
+    curve = result.ingredient_curve
+    assert curve.label == "CM-R"
+    assert len(curve) > 0
+    assert (curve.frequencies <= 1.0).all()
+
+
+def test_category_curve_requires_lexicon():
+    with pytest.raises(ModelError):
+        run_ensemble(
+            CopyMutateRandom(), _spec(), n_runs=2, seed=1,
+            include_category_level=True,
+        )
+
+
+def test_category_curve_with_lexicon(lexicon):
+    # Use ids within the standard lexicon's range.
+    spec = CuisineSpec(
+        region_code="TST",
+        ingredient_ids=tuple(range(30)),
+        categories=tuple(lexicon.category_of(i) for i in range(30)),
+        avg_recipe_size=5.0,
+        n_recipes=60,
+        phi=0.5,
+    )
+    result = run_ensemble(
+        CopyMutateRandom(), spec, n_runs=2, seed=2,
+        lexicon=lexicon, include_category_level=True,
+    )
+    assert result.category_curve is not None
+    assert len(result.category_curve) > 0
+
+
+def test_invalid_run_count():
+    with pytest.raises(ModelError):
+        run_ensemble(CopyMutateRandom(), _spec(), n_runs=0)
+
+
+def test_ensemble_curve_requires_runs():
+    with pytest.raises(ModelError):
+        ensemble_curve([], "x")

@@ -1,0 +1,135 @@
+"""Tests for the future-work model extensions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError, ParameterError
+from repro.lexicon.categories import Category
+from repro.models.copy_mutate import CopyMutateCategory, CopyMutateRandom
+from repro.models.extensions.horizontal import HorizontalExchangeSimulation
+from repro.models.extensions.variable_size import VariableSizeCopyMutate
+from repro.models.null_model import NullModel
+from repro.models.params import CuisineSpec
+
+
+def _spec(code="A", n_ingredients=40, n_recipes=100):
+    categories = list(Category)[:4]
+    return CuisineSpec(
+        region_code=code,
+        ingredient_ids=tuple(range(n_ingredients)),
+        categories=tuple(categories[i % 4] for i in range(n_ingredients)),
+        avg_recipe_size=6.0,
+        n_recipes=n_recipes,
+        phi=n_ingredients / n_recipes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Variable recipe size
+# ---------------------------------------------------------------------------
+
+
+def test_variable_size_runs_to_target():
+    run = VariableSizeCopyMutate().run(_spec(), seed=0)
+    assert run.n_recipes == 100
+    assert run.model_name == "CM-V"
+
+
+def test_variable_size_changes_sizes():
+    run = VariableSizeCopyMutate(p_insert=0.4, p_delete=0.4).run(
+        _spec(), seed=1
+    )
+    sizes = {len(t) for t in run.transactions}
+    assert len(sizes) > 1  # sizes actually drift
+
+
+def test_variable_size_respects_bounds():
+    run = VariableSizeCopyMutate(
+        p_insert=0.45, p_delete=0.45, min_size=4, max_size=8
+    ).run(_spec(), seed=2)
+    mutated = run.transactions[run.initial_recipes:]
+    for transaction in mutated:
+        assert 4 <= len(transaction) <= 8 or len(transaction) == 6
+
+
+def test_variable_size_invalid_probabilities():
+    with pytest.raises(ParameterError):
+        VariableSizeCopyMutate(p_insert=0.7, p_delete=0.7)
+    with pytest.raises(ParameterError):
+        VariableSizeCopyMutate(p_insert=-0.1)
+    with pytest.raises(ParameterError):
+        VariableSizeCopyMutate(min_size=10, max_size=5)
+
+
+# ---------------------------------------------------------------------------
+# Horizontal exchange
+# ---------------------------------------------------------------------------
+
+
+def test_horizontal_coevolution_targets():
+    sim = HorizontalExchangeSimulation(CopyMutateRandom(), exchange_rate=0.2)
+    outcome = sim.run([_spec("A"), _spec("B", n_recipes=60)], seed=3)
+    assert outcome.runs["A"].n_recipes == 100
+    assert outcome.runs["B"].n_recipes == 60
+    assert outcome.runs["A"].model_name == "HX(CM-R)"
+
+
+def test_horizontal_borrowing_happens():
+    sim = HorizontalExchangeSimulation(CopyMutateRandom(), exchange_rate=0.5)
+    outcome = sim.run([_spec("A"), _spec("B")], seed=4)
+    assert sum(outcome.borrow_events.values()) > 0
+
+
+def test_zero_exchange_rate_no_borrowing():
+    sim = HorizontalExchangeSimulation(CopyMutateRandom(), exchange_rate=0.0)
+    outcome = sim.run([_spec("A"), _spec("B")], seed=5)
+    assert sum(outcome.borrow_events.values()) == 0
+
+
+def test_horizontal_with_category_inner_model():
+    sim = HorizontalExchangeSimulation(CopyMutateCategory(), exchange_rate=0.3)
+    outcome = sim.run([_spec("A"), _spec("B")], seed=6)
+    assert outcome.runs["A"].n_recipes == 100
+
+
+def test_horizontal_recipes_use_known_ingredients():
+    """Borrowed recipes are filtered to the borrower's universe."""
+    spec_a = _spec("A", n_ingredients=30)
+    spec_b = CuisineSpec(
+        region_code="B",
+        ingredient_ids=tuple(range(20, 60)),
+        categories=tuple(
+            list(Category)[:4][i % 4] for i in range(40)
+        ),
+        avg_recipe_size=6.0,
+        n_recipes=80,
+        phi=0.5,
+    )
+    sim = HorizontalExchangeSimulation(CopyMutateRandom(), exchange_rate=0.6)
+    outcome = sim.run([spec_a, spec_b], seed=7)
+    universe_a = set(spec_a.ingredient_ids)
+    for transaction in outcome.runs["A"].transactions:
+        assert set(transaction) <= universe_a
+
+
+def test_horizontal_requires_copy_mutate_inner():
+    with pytest.raises(ModelError):
+        HorizontalExchangeSimulation(NullModel())
+
+
+def test_horizontal_requires_two_cuisines():
+    sim = HorizontalExchangeSimulation(CopyMutateRandom())
+    with pytest.raises(ModelError):
+        sim.run([_spec("A")], seed=0)
+
+
+def test_horizontal_distinct_codes_required():
+    sim = HorizontalExchangeSimulation(CopyMutateRandom())
+    with pytest.raises(ModelError):
+        sim.run([_spec("A"), _spec("A")], seed=0)
+
+
+def test_horizontal_invalid_rate():
+    with pytest.raises(ParameterError):
+        HorizontalExchangeSimulation(CopyMutateRandom(), exchange_rate=1.5)

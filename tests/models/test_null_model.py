@@ -1,0 +1,89 @@
+"""Tests for the Null Model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.lexicon.categories import Category
+from repro.models.null_model import NullModel
+from repro.models.params import CuisineSpec
+
+
+def _spec(n_ingredients=40, n_recipes=100):
+    return CuisineSpec(
+        region_code="TST",
+        ingredient_ids=tuple(range(n_ingredients)),
+        categories=tuple([Category.SPICE] * n_ingredients),
+        avg_recipe_size=5.0,
+        n_recipes=n_recipes,
+        phi=n_ingredients / n_recipes,
+    )
+
+
+def test_reaches_target():
+    run = NullModel().run(_spec(), seed=1)
+    assert run.n_recipes == 100
+    assert run.model_name == "NM"
+
+
+def test_no_mutations_recorded():
+    run = NullModel().run(_spec(), seed=1)
+    assert run.trace.mutations_attempted == 0
+    assert run.trace.mutations_accepted == 0
+
+
+def test_recipe_sizes_fixed():
+    spec = _spec()
+    run = NullModel().run(spec, seed=2)
+    assert all(len(t) == spec.recipe_size for t in run.transactions)
+
+
+def test_pool_bookkeeping_still_runs():
+    """'All the other steps remain as it is' — the pool still grows."""
+    run = NullModel().run(_spec(), seed=3)
+    assert run.trace.ingredients_added > 0
+    assert run.final_pool_size > 20
+
+
+def test_invalid_sample_from():
+    with pytest.raises(ModelError):
+        NullModel(sample_from="fridge")
+
+
+def test_universe_sampling_variant():
+    run = NullModel(sample_from="universe").run(_spec(), seed=4)
+    assert run.n_recipes == 100
+    # Universe sampling can use ingredients not yet in the pool.
+    used = set().union(*run.transactions)
+    assert len(used) > 20
+
+
+def test_null_flatter_than_copy_mutate():
+    """NM spreads usage far more evenly than CM — the Sec. VI mechanism.
+
+    Compare the max single-ingredient relative frequency: copying
+    concentrates mass on early popular ingredients, uniform sampling
+    does not.
+    """
+    from collections import Counter
+
+    from repro.models.copy_mutate import CopyMutateRandom
+
+    spec = _spec(n_ingredients=60, n_recipes=400)
+    nm = NullModel().run(spec, seed=5)
+    cm = CopyMutateRandom().run(spec, seed=5)
+
+    def max_frequency(run):
+        counts = Counter()
+        for transaction in run.transactions:
+            counts.update(transaction)
+        return max(counts.values()) / run.n_recipes
+
+    assert max_frequency(cm) > max_frequency(nm)
+
+
+def test_deterministic():
+    a = NullModel().run(_spec(), seed=6)
+    b = NullModel().run(_spec(), seed=6)
+    assert a.transactions == b.transactions

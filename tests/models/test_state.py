@@ -1,0 +1,192 @@
+"""Tests for EvolutionState, incl. hypothesis invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.lexicon.categories import Category
+from repro.models.params import CuisineSpec
+from repro.models.state import EvolutionState
+from repro.rng import ensure_rng
+
+
+def _spec(n_ingredients=30, n_recipes=50, avg_size=5.0, phi=None):
+    categories = [Category.VEGETABLE, Category.SPICE, Category.DAIRY]
+    return CuisineSpec(
+        region_code="TST",
+        ingredient_ids=tuple(range(n_ingredients)),
+        categories=tuple(
+            categories[i % len(categories)] for i in range(n_ingredients)
+        ),
+        avg_recipe_size=avg_size,
+        n_recipes=n_recipes,
+        phi=phi if phi is not None else n_ingredients / n_recipes,
+    )
+
+
+def _state(spec=None, pool=10, recipes=5, seed=0):
+    spec = spec or _spec()
+    rng = ensure_rng(seed)
+    fitness = rng.uniform(size=len(spec.ingredient_ids))
+    return EvolutionState(
+        spec=spec,
+        fitness=fitness,
+        rng=rng,
+        initial_pool_size=pool,
+        initial_recipes=recipes,
+    )
+
+
+def test_initial_pool_and_recipes():
+    state = _state(pool=10, recipes=5)
+    assert state.m == 10
+    assert state.n == 5
+    assert all(len(recipe) == 5 for recipe in state.recipes)
+
+
+def test_pool_and_remaining_partition_universe():
+    state = _state()
+    pool = set(state.pool)
+    remaining = set(state.remaining_universe)
+    assert pool & remaining == set()
+    assert pool | remaining == set(range(30))
+
+
+def test_initial_recipes_use_pool_only():
+    state = _state()
+    pool = set(state.pool)
+    for recipe in state.recipes:
+        assert set(recipe) <= pool
+        assert len(set(recipe)) == len(recipe)  # distinct ingredients
+
+
+def test_pool_ratio():
+    state = _state(pool=10, recipes=5)
+    assert state.pool_ratio() == pytest.approx(2.0)
+
+
+def test_grow_pool_moves_ingredient():
+    state = _state()
+    before_pool = set(state.pool)
+    before_remaining = set(state.remaining_universe)
+    moved = state.grow_pool()
+    assert moved in before_remaining
+    assert moved not in before_pool
+    assert moved in set(state.pool)
+    assert state.m == 11
+    assert state.trace.ingredients_added == 1
+
+
+def test_grow_pool_exhausted_raises():
+    spec = _spec(n_ingredients=5)
+    state = _state(spec=spec, pool=5, recipes=2)
+    assert not state.can_grow_pool()
+    with pytest.raises(ModelError):
+        state.grow_pool()
+
+
+def test_category_restricted_choice():
+    state = _state(seed=3)
+    for _ in range(20):
+        candidate = state.random_pool_ingredient_of_category(Category.SPICE)
+        if candidate is None:
+            continue
+        assert state.category_of(candidate) is Category.SPICE
+        assert candidate in set(state.pool)
+
+
+def test_category_choice_empty_category():
+    # Single-ingredient pool: most categories are absent.
+    spec = _spec(n_ingredients=3)
+    state = EvolutionState(
+        spec=spec,
+        fitness=np.array([0.1, 0.2, 0.3]),
+        rng=ensure_rng(0),
+        initial_pool_size=1,
+        initial_recipes=1,
+    )
+    present = state.category_of(state.pool[0])
+    for category in (Category.VEGETABLE, Category.SPICE, Category.DAIRY):
+        candidate = state.random_pool_ingredient_of_category(category)
+        if category is present:
+            assert candidate is not None
+        else:
+            assert candidate is None
+
+
+def test_fitness_lookup():
+    state = _state()
+    for ingredient_id in state.pool[:5]:
+        assert 0.0 <= state.fitness_of(ingredient_id) <= 1.0
+    with pytest.raises(ModelError):
+        state.fitness_of(999)
+    with pytest.raises(ModelError):
+        state.category_of(999)
+
+
+def test_add_recipe():
+    state = _state()
+    state.add_recipe([1, 2, 3])
+    assert state.n == 6
+    assert state.trace.recipes_added == 1
+    with pytest.raises(ModelError):
+        state.add_recipe([])
+
+
+def test_misaligned_fitness_rejected():
+    spec = _spec()
+    with pytest.raises(ModelError):
+        EvolutionState(
+            spec=spec,
+            fitness=np.zeros(3),
+            rng=ensure_rng(0),
+            initial_pool_size=5,
+            initial_recipes=2,
+        )
+
+
+def test_transactions():
+    state = _state()
+    transactions = state.transactions()
+    assert len(transactions) == state.n
+    assert all(isinstance(t, frozenset) for t in transactions)
+
+
+@given(
+    st.integers(5, 60),
+    st.integers(1, 20),
+    st.integers(1, 10),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_invariants_after_random_operations(
+    n_ingredients, pool_size, initial_recipes, seed
+):
+    """Pool ∪ remaining == universe, sizes consistent, after random ops."""
+    spec = _spec(n_ingredients=n_ingredients, n_recipes=100)
+    rng = ensure_rng(seed)
+    state = EvolutionState(
+        spec=spec,
+        fitness=rng.uniform(size=n_ingredients),
+        rng=rng,
+        initial_pool_size=min(pool_size, n_ingredients),
+        initial_recipes=initial_recipes,
+    )
+    for _ in range(30):
+        if rng.random() < 0.5 and state.can_grow_pool():
+            state.grow_pool()
+        else:
+            size = min(spec.recipe_size, state.m)
+            members = list(state.pool)[:size]
+            state.add_recipe(members)
+    pool = set(state.pool)
+    remaining = set(state.remaining_universe)
+    assert pool & remaining == set()
+    assert pool | remaining == set(range(n_ingredients))
+    assert state.m == len(pool)
+    assert state.n == len(state.recipes)
+    assert state.m + len(remaining) == n_ingredients

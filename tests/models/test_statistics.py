@@ -1,0 +1,83 @@
+"""Tests for ensemble statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.lexicon.categories import Category
+from repro.models.copy_mutate import CopyMutateCategory, CopyMutateRandom
+from repro.models.null_model import NullModel
+from repro.models.params import CuisineSpec
+from repro.models.statistics import summarize_ensemble
+from repro.rng import ensure_rng, spawn
+
+
+def _spec(n_recipes=150):
+    categories = list(Category)[:3]
+    return CuisineSpec(
+        region_code="TST",
+        ingredient_ids=tuple(range(45)),
+        categories=tuple(categories[i % 3] for i in range(45)),
+        avg_recipe_size=5.0,
+        n_recipes=n_recipes,
+        phi=45 / n_recipes,
+    )
+
+
+def _runs(model, n=3, seed=0):
+    spec = _spec()
+    return [model.run(spec, seed=child) for child in spawn(ensure_rng(seed), n)]
+
+
+def test_summarize_copy_mutate():
+    stats = summarize_ensemble(_runs(CopyMutateRandom()))
+    assert stats.model_name == "CM-R"
+    assert stats.n_runs == 3
+    assert stats.mean_recipes == 150
+    assert 0 < stats.mutation_acceptance_rate < 1
+    assert stats.curve_length_mean > 0
+    assert 0 < stats.top_frequency_mean <= 1
+
+
+def test_rates_partition_attempts():
+    stats = summarize_ensemble(_runs(CopyMutateRandom()))
+    total = (
+        stats.mutation_acceptance_rate
+        + stats.rejection_fitness_rate
+        + stats.rejection_duplicate_rate
+        + stats.skip_no_candidate_rate
+    )
+    assert total == pytest.approx(1.0, abs=1e-9)
+
+
+def test_null_model_has_no_mutations():
+    stats = summarize_ensemble(_runs(NullModel()))
+    assert stats.mutation_acceptance_rate == 0.0
+    assert stats.rejection_fitness_rate == 0.0
+
+
+def test_cm_c_skip_counter_active():
+    # With 3 categories over a 20-ingredient pool, same-category
+    # candidates exist nearly always; force scarcity with a tiny pool.
+    from repro.models.params import ModelParams
+
+    model = CopyMutateCategory(params=ModelParams(
+        initial_pool_size=2, mutations=6,
+    ))
+    stats = summarize_ensemble(_runs(model))
+    # skip or duplicate rejections must occur with such a tiny pool.
+    assert (
+        stats.skip_no_candidate_rate + stats.rejection_duplicate_rate > 0
+    )
+
+
+def test_empty_runs_rejected():
+    with pytest.raises(ModelError):
+        summarize_ensemble([])
+
+
+def test_mixed_models_rejected():
+    runs = _runs(CopyMutateRandom(), n=1) + _runs(NullModel(), n=1)
+    with pytest.raises(ModelError):
+        summarize_ensemble(runs)

@@ -1,0 +1,122 @@
+"""Tests for the nutrition substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lexicon.categories import Category
+from repro.nutrition.profiles import (
+    NutrientProfile,
+    build_nutrition_table,
+)
+from repro.nutrition.scoring import (
+    health_score,
+    ingredient_health_scores,
+    nutrition_fitness,
+)
+from repro.rng import ensure_rng
+
+
+@pytest.fixture(scope="module")
+def table(lexicon):
+    return build_nutrition_table(lexicon, seed=3)
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        NutrientProfile(-1, 0, 0, 0, 0, 0, 0)
+
+
+def test_profile_combined_and_scaled():
+    a = NutrientProfile(100, 10, 5, 20, 2, 8, 50)
+    b = NutrientProfile(200, 0, 15, 10, 1, 2, 150)
+    combined = a.combined(b)
+    assert combined.kcal == 300
+    assert combined.protein_g == 10
+    mean = combined.scaled(0.5)
+    assert mean.kcal == 150
+    assert mean.sodium_mg == 100
+    with pytest.raises(ValueError):
+        a.scaled(-1)
+
+
+def test_every_entity_profiled(lexicon, table):
+    assert len(table) == len(lexicon)
+    for ingredient in lexicon:
+        assert ingredient.ingredient_id in table
+
+
+def test_category_prototypes_show_through(lexicon, table):
+    """Oils are fat-dominated; legumes fiber-rich; additives salty-sweet."""
+    import numpy as np
+
+    def mean_of(category, attribute):
+        members = lexicon.by_category(category)
+        return np.mean([
+            getattr(table.profile_of(m.ingredient_id), attribute)
+            for m in members if not m.is_compound
+        ])
+
+    assert mean_of(Category.ESSENTIAL_OIL, "fat_g") > 70
+    assert mean_of(Category.LEGUME, "fiber_g") > mean_of(
+        Category.MEAT, "fiber_g"
+    )
+    assert mean_of(Category.ADDITIVE, "sugar_g") > mean_of(
+        Category.VEGETABLE, "sugar_g"
+    )
+
+
+def test_compounds_average_components(lexicon, table):
+    puree = lexicon.by_name("tomato puree")
+    tomato = lexicon.by_name("tomato")
+    # Single-component compound: identical profile.
+    assert table.profile_of(puree.ingredient_id) == table.profile_of(
+        tomato.ingredient_id
+    )
+
+
+def test_recipe_profile_mean(lexicon, table):
+    ids = [lexicon.by_name("tomato").ingredient_id,
+           lexicon.by_name("olive oil").ingredient_id]
+    recipe = table.recipe_profile(ids)
+    a = table.profile_of(ids[0])
+    b = table.profile_of(ids[1])
+    assert recipe.kcal == pytest.approx((a.kcal + b.kcal) / 2)
+    with pytest.raises(ValueError):
+        table.recipe_profile([])
+
+
+def test_deterministic(lexicon):
+    a = build_nutrition_table(lexicon, seed=9)
+    b = build_nutrition_table(lexicon, seed=9)
+    for ingredient in lexicon:
+        assert a.profile_of(ingredient.ingredient_id) == b.profile_of(
+            ingredient.ingredient_id
+        )
+
+
+def test_health_score_bounds(lexicon, table):
+    scores = ingredient_health_scores(lexicon, table)
+    assert len(scores) == len(lexicon)
+    assert all(0.0 <= s <= 1.0 for s in scores.values())
+
+
+def test_health_score_orders_sensibly(lexicon, table):
+    """Vegetables/legumes beat additives and alcoholic drinks on average."""
+    import numpy as np
+
+    scores = ingredient_health_scores(lexicon, table)
+
+    def mean_of(category):
+        members = lexicon.by_category(category)
+        return np.mean([scores[m.ingredient_id] for m in members])
+
+    assert mean_of(Category.LEGUME) > mean_of(Category.ADDITIVE)
+    assert mean_of(Category.VEGETABLE) > mean_of(Category.BAKERY)
+
+
+def test_nutrition_fitness_usable(lexicon, table):
+    fitness = nutrition_fitness(lexicon, table)
+    values = fitness.assign(list(lexicon.ids)[:50], ensure_rng(0))
+    assert values.shape == (50,)
+    assert (values >= 0).all() and (values <= 1).all()

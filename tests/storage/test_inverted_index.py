@@ -1,0 +1,107 @@
+"""Tests for the inverted index, incl. property-based support checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.recipe import Recipe
+from repro.storage.inverted_index import InvertedIndex, intersect_postings
+
+
+@pytest.fixture()
+def index(tiny_dataset):
+    return InvertedIndex(tiny_dataset.recipes)
+
+
+def test_postings_sorted_rows(index):
+    postings = index.postings(0)
+    assert list(postings) == sorted(postings)
+
+
+def test_document_frequency(index):
+    assert index.document_frequency(0) == 4  # tomato
+    assert index.document_frequency(5) == 4  # cumin
+    assert index.document_frequency(999) == 0
+
+
+def test_support_single(index):
+    assert index.support([0]) == 4
+
+
+def test_support_conjunction(index):
+    assert index.support([0, 7]) == 3  # tomato AND basil: ITA recipes 0-2
+    assert index.support([0, 5]) == 1  # tomato AND cumin: KOR recipe 7
+
+
+def test_support_empty_itemset_is_all(index):
+    assert index.support([]) == 8
+
+
+def test_support_unseen_item(index):
+    assert index.support([0, 999]) == 0
+
+
+def test_rows_containing(index):
+    rows = index.rows_containing([0, 7])
+    assert [index.recipe_at(int(r)).recipe_id for r in rows] == [0, 1, 2]
+
+
+def test_vocabulary(index):
+    assert index.vocabulary == tuple(range(10))
+
+
+def test_document_frequencies_consistent(index):
+    frequencies = index.document_frequencies()
+    for ingredient_id, count in frequencies.items():
+        assert count == index.document_frequency(ingredient_id)
+
+
+def test_intersect_postings_empty_input():
+    assert intersect_postings([]).size == 0
+
+
+def test_intersect_postings_basic():
+    a = np.array([1, 3, 5, 7], dtype=np.int64)
+    b = np.array([3, 4, 5], dtype=np.int64)
+    assert list(intersect_postings([a, b])) == [3, 5]
+
+
+def test_intersect_postings_disjoint():
+    a = np.array([1, 2], dtype=np.int64)
+    b = np.array([3, 4], dtype=np.int64)
+    assert intersect_postings([a, b]).size == 0
+
+
+@st.composite
+def recipes_strategy(draw):
+    n = draw(st.integers(1, 30))
+    recipes = []
+    for recipe_id in range(n):
+        ids = draw(st.sets(st.integers(0, 15), min_size=1, max_size=8))
+        recipes.append(Recipe(recipe_id, "ITA", tuple(ids)))
+    return recipes
+
+
+@given(recipes_strategy(), st.sets(st.integers(0, 15), min_size=1, max_size=4))
+@settings(max_examples=80, deadline=None)
+def test_support_matches_bruteforce(recipes, query):
+    index = InvertedIndex(recipes)
+    expected = sum(
+        1 for recipe in recipes if query <= set(recipe.ingredient_ids)
+    )
+    assert index.support(query) == expected
+
+
+@given(recipes_strategy())
+@settings(max_examples=50, deadline=None)
+def test_document_frequency_matches_bruteforce(recipes):
+    index = InvertedIndex(recipes)
+    for ingredient_id in range(16):
+        expected = sum(
+            1 for recipe in recipes
+            if ingredient_id in recipe.ingredient_ids
+        )
+        assert index.document_frequency(ingredient_id) == expected

@@ -1,0 +1,71 @@
+"""Tests for the conjunctive query layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.storage.query import HasCategory, HasIngredient, Query, SizeBetween
+from repro.storage.store import RecipeStore
+
+
+@pytest.fixture()
+def store(tiny_dataset, tiny_lexicon):
+    return RecipeStore(tiny_dataset, tiny_lexicon)
+
+
+def test_has_ingredient_by_id(store):
+    query = Query([HasIngredient(0)])
+    assert query.count(store) == 4
+
+
+def test_has_ingredient_by_name(store):
+    query = Query([HasIngredient("tomato")])
+    assert query.count(store) == 4
+
+
+def test_has_ingredient_via_alias(store):
+    query = Query([HasIngredient("roma tomatoes")])
+    assert query.count(store) == 4
+
+
+def test_has_ingredient_unresolvable_raises(store):
+    with pytest.raises(QueryError):
+        Query([HasIngredient("unicorn")]).count(store)
+
+
+def test_has_category(store):
+    query = Query([HasCategory("Spice")])
+    assert query.count(store) == 4  # all KOR recipes
+
+
+def test_conjunction(store):
+    query = Query([HasIngredient("tomato"), HasCategory("Spice")])
+    assert query.count(store) == 1  # KOR recipe 7
+
+
+def test_size_between(store):
+    assert Query([SizeBetween(4, 4)]).count(store) == 2
+    assert Query([SizeBetween(2, 3)]).count(store) == 6
+
+
+def test_size_bounds_validated():
+    with pytest.raises(QueryError):
+        SizeBetween(0, 5)
+    with pytest.raises(QueryError):
+        SizeBetween(5, 2)
+
+
+def test_empty_query_rejected():
+    with pytest.raises(QueryError):
+        Query([])
+
+
+def test_execute_returns_recipes(store):
+    recipes = Query([HasIngredient("basil")]).execute(store, region_code="ITA")
+    assert [recipe.recipe_id for recipe in recipes] == [0, 1, 2]
+
+
+def test_execute_scoped_to_cuisine(store):
+    query = Query([HasIngredient("tomato")])
+    assert query.count(store, region_code="KOR") == 1

@@ -1,0 +1,80 @@
+"""Tests for RecipeStore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.dataset import RecipeDataset
+from repro.corpus.recipe import Recipe
+from repro.errors import StorageError
+from repro.lexicon.categories import Category
+from repro.storage.store import RecipeStore
+
+
+@pytest.fixture()
+def store(tiny_dataset, tiny_lexicon):
+    return RecipeStore(tiny_dataset, tiny_lexicon)
+
+
+def test_rejects_unknown_ids(tiny_lexicon):
+    dataset = RecipeDataset([Recipe(0, "ITA", (999,))])
+    with pytest.raises(StorageError):
+        RecipeStore(dataset, tiny_lexicon)
+
+
+def test_region_codes(store):
+    assert store.region_codes() == ("ITA", "KOR")
+
+
+def test_cuisine_index_unknown_raises(store):
+    with pytest.raises(StorageError):
+        store.cuisine_index("FRA")
+
+
+def test_support_global_and_cuisine(store):
+    assert store.support([0]) == 4
+    assert store.support([0], region_code="ITA") == 3
+    assert store.support([0], region_code="KOR") == 1
+
+
+def test_relative_support(store):
+    assert store.relative_support([0], region_code="ITA") == pytest.approx(0.75)
+    assert store.relative_support([0]) == pytest.approx(0.5)
+
+
+def test_category_projection(store):
+    categories = store.project_to_categories([0, 1, 5])
+    assert categories == frozenset({Category.VEGETABLE, Category.SPICE})
+
+
+def test_category_vector(store):
+    vector = store.category_vector([0, 1, 5, 6])
+    assert vector[Category.VEGETABLE] == 2
+    assert vector[Category.SPICE] == 2
+
+
+def test_cuisine_view_passthrough(store, tiny_dataset):
+    assert store.cuisine_view("ITA").n_recipes == 4
+
+
+def test_cooccurrence_counts(store):
+    # tomato (0) co-occurs with basil (7) in ITA recipes 0, 1, 2.
+    counts = store.cooccurrence(0)
+    assert counts[7] == 3
+    assert counts[1] == 2  # onion with tomato: recipes 0, 2
+    assert 0 not in counts  # anchor excluded
+
+
+def test_cooccurrence_scoped(store):
+    counts = store.cooccurrence(0, region_code="KOR")
+    assert counts == {5: 1, 6: 1, 9: 1}
+
+
+def test_top_cooccurring_order(store):
+    ranked = store.top_cooccurring(0, k=2)
+    assert ranked[0] == (7, 3)
+    assert ranked[1][1] <= 3
+
+
+def test_cooccurrence_unseen_ingredient(store):
+    assert store.cooccurrence(999) == {}

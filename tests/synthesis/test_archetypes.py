@@ -1,0 +1,72 @@
+"""Tests for the archetype and cuisine-profile tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.regions import ALL_REGION_CODES
+from repro.errors import SynthesisError
+from repro.lexicon.categories import Category
+from repro.synthesis.archetypes import (
+    ARCHETYPES,
+    REGION_PROFILES,
+    validate_archetypes,
+)
+
+
+def test_validate_passes_on_standard_lexicon(lexicon):
+    validate_archetypes(lexicon)
+
+
+def test_profile_for_every_region():
+    assert set(REGION_PROFILES) == set(ALL_REGION_CODES)
+
+
+def test_profiles_reference_known_archetypes():
+    for profile in REGION_PROFILES.values():
+        for key, weight in profile.archetype_weights:
+            assert key in ARCHETYPES, (profile.region_code, key)
+            assert weight > 0
+
+
+def test_archetype_core_boosts_positive():
+    for archetype in ARCHETYPES.values():
+        for name, boost in archetype.core:
+            assert boost > 0, (archetype.key, name)
+
+
+def test_category_multiplier_values_valid():
+    for archetype in ARCHETYPES.values():
+        for value, multiplier in archetype.category_multipliers:
+            Category(value)  # raises if invalid
+            assert multiplier > 0
+
+
+def test_profile_emphasis_categories_valid():
+    for profile in REGION_PROFILES.values():
+        for value, multiplier in profile.category_emphasis:
+            Category(value)
+            assert multiplier > 0
+
+
+def test_validate_detects_unknown_core(tiny_lexicon):
+    # The tiny lexicon lacks nearly all archetype core ingredients.
+    with pytest.raises(SynthesisError):
+        validate_archetypes(tiny_lexicon)
+
+
+def test_size_means_reasonable():
+    for profile in REGION_PROFILES.values():
+        assert 6.0 <= profile.size_mean <= 12.0, profile.region_code
+
+
+def test_spice_cuisines_emphasize_spice():
+    insc = dict(REGION_PROFILES["INSC"].category_emphasis)
+    anz = dict(REGION_PROFILES["ANZ"].category_emphasis)
+    assert insc.get("Spice", 1.0) > anz.get("Spice", 1.0)
+
+
+def test_dairy_light_cuisines():
+    for code in ("JPN", "KOR", "THA", "SEA"):
+        emphasis = dict(REGION_PROFILES[code].category_emphasis)
+        assert emphasis.get("Dairy", 1.0) < 1.0, code

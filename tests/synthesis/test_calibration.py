@@ -1,0 +1,71 @@
+"""Tests for corpus calibration checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.synthesis.calibration import check_calibration
+from repro.synthesis.worldgen import WorldKitchen
+
+
+@pytest.fixture(scope="module")
+def scaled_corpus(lexicon):
+    return WorldKitchen(lexicon, seed=13).generate_dataset(
+        region_codes=("ITA", "KOR", "CAM"), scale=0.2
+    )
+
+
+def test_summary_shape(scaled_corpus):
+    summary = check_calibration(scaled_corpus, scale=0.2)
+    assert len(summary.regions) == 3
+    codes = {record.region_code for record in summary.regions}
+    assert codes == {"ITA", "KOR", "CAM"}
+
+
+def test_sizes_always_in_bounds(scaled_corpus):
+    summary = check_calibration(scaled_corpus, scale=0.2)
+    assert all(record.sizes_in_bounds for record in summary.regions)
+
+
+def test_aggregate_mean_near_paper(scaled_corpus):
+    summary = check_calibration(scaled_corpus, scale=0.2)
+    assert 7.5 <= summary.aggregate_mean_size <= 10.5
+
+
+def test_recipe_counts_match_targets(scaled_corpus):
+    summary = check_calibration(scaled_corpus, scale=0.2)
+    for record in summary.regions:
+        if record.region_code != "CAM":  # CAM hits the min_recipes floor
+            assert record.n_recipes == record.target_recipes
+
+
+def test_worst_region_is_lowest_coverage(scaled_corpus):
+    summary = check_calibration(scaled_corpus, scale=0.2)
+    worst = summary.worst_region()
+    assert worst.ingredient_coverage == summary.min_ingredient_coverage
+
+
+def test_full_scale_coverage(lexicon):
+    dataset = WorldKitchen(lexicon, seed=21).generate_dataset(
+        region_codes=("KOR",), scale=1.0
+    )
+    summary = check_calibration(dataset, scale=1.0)
+    record = summary.regions[0]
+    assert record.n_recipes == record.target_recipes == 1228
+    assert 0.7 <= record.ingredient_coverage <= 1.1
+
+
+def test_strict_mode_passes_on_good_corpus(lexicon):
+    dataset = WorldKitchen(lexicon, seed=21).generate_dataset(
+        region_codes=("KOR",), scale=1.0
+    )
+    check_calibration(dataset, scale=1.0, strict=True)
+
+
+def test_strict_mode_raises_on_violation(lexicon):
+    dataset = WorldKitchen(lexicon, seed=21).generate_dataset(
+        region_codes=("KOR",), scale=1.0
+    )
+    with pytest.raises(CalibrationError):
+        check_calibration(dataset, scale=1.0, strict=True, min_coverage=1.05)

@@ -1,0 +1,56 @@
+"""Tests for the messy mention renderer."""
+
+from __future__ import annotations
+
+from repro.synthesis.noise import MentionRenderer
+
+
+def test_render_is_recoverable(lexicon):
+    """Every validated rendering must resolve back to its entity."""
+    renderer = MentionRenderer(seed=0, validate_with=lexicon.resolver)
+    sample = list(lexicon)[::13]
+    for ingredient in sample:
+        for _ in range(5):
+            mention = renderer.render(ingredient)
+            resolution = lexicon.resolve(mention)
+            assert resolution.ingredient is not None, mention
+            assert resolution.ingredient.name == ingredient.name, mention
+
+
+def test_render_without_validation_mostly_recoverable(lexicon):
+    """Even unvalidated renderings resolve correctly almost always."""
+    renderer = MentionRenderer(seed=0)
+    hits = 0
+    total = 0
+    for ingredient in list(lexicon)[::7]:
+        for _ in range(3):
+            total += 1
+            resolution = lexicon.resolve(renderer.render(ingredient))
+            if (
+                resolution.ingredient is not None
+                and resolution.ingredient.name == ingredient.name
+            ):
+                hits += 1
+    assert hits / total > 0.97
+
+
+def test_render_all_covers_recipe(lexicon):
+    renderer = MentionRenderer(seed=1)
+    ingredients = [lexicon.by_name(n) for n in ("tomato", "onion", "garlic")]
+    mentions = renderer.render_all(ingredients)
+    assert len(mentions) == 3
+    resolved = {lexicon.resolve(m).ingredient.name for m in mentions}
+    assert resolved == {"tomato", "onion", "garlic"}
+
+
+def test_render_deterministic(lexicon):
+    a = MentionRenderer(seed=5).render(lexicon.by_name("basil"))
+    b = MentionRenderer(seed=5).render(lexicon.by_name("basil"))
+    assert a == b
+
+
+def test_render_produces_noise(lexicon):
+    renderer = MentionRenderer(seed=2)
+    mentions = {renderer.render(lexicon.by_name("tomato")) for _ in range(30)}
+    assert len(mentions) > 5  # actual variety
+    assert any(m != "tomato" for m in mentions)

@@ -1,0 +1,152 @@
+"""Tests for popularity machinery, incl. Gumbel top-k properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynthesisError
+from repro.rng import ensure_rng
+from repro.synthesis.popularity import (
+    gumbel_topk,
+    truncated_normal_sizes,
+    zipf_weights,
+)
+
+
+# ---------------------------------------------------------------------------
+# zipf_weights
+# ---------------------------------------------------------------------------
+
+
+def test_zipf_normalized():
+    weights = zipf_weights(100, 1.0)
+    assert weights.sum() == pytest.approx(1.0)
+
+
+def test_zipf_decreasing():
+    weights = zipf_weights(50, 0.9)
+    assert (np.diff(weights) <= 0).all()
+
+
+def test_zipf_exponent_zero_is_uniform():
+    weights = zipf_weights(10, 0.0)
+    assert np.allclose(weights, 0.1)
+
+
+def test_zipf_invalid_inputs():
+    with pytest.raises(SynthesisError):
+        zipf_weights(0)
+    with pytest.raises(SynthesisError):
+        zipf_weights(10, -1.0)
+
+
+@given(st.integers(1, 500), st.floats(0.0, 3.0))
+@settings(max_examples=60)
+def test_zipf_properties(n, exponent):
+    weights = zipf_weights(n, exponent)
+    assert weights.shape == (n,)
+    assert weights.sum() == pytest.approx(1.0)
+    assert (weights > 0).all()
+
+
+# ---------------------------------------------------------------------------
+# gumbel_topk
+# ---------------------------------------------------------------------------
+
+
+def test_gumbel_topk_shapes():
+    rng = ensure_rng(0)
+    log_w = np.log(zipf_weights(20))
+    draws = gumbel_topk(rng, log_w, np.array([3, 5, 1]))
+    assert [d.size for d in draws] == [3, 5, 1]
+
+
+def test_gumbel_topk_distinct_items():
+    rng = ensure_rng(1)
+    log_w = np.log(zipf_weights(15))
+    for draw in gumbel_topk(rng, log_w, np.full(50, 10)):
+        assert len(set(draw.tolist())) == 10
+
+
+def test_gumbel_topk_oversample_raises():
+    rng = ensure_rng(0)
+    with pytest.raises(SynthesisError):
+        gumbel_topk(rng, np.zeros(3), np.array([4]))
+
+
+def test_gumbel_topk_empty():
+    rng = ensure_rng(0)
+    assert gumbel_topk(rng, np.zeros(3), np.array([], dtype=np.int64)) == []
+
+
+def test_gumbel_topk_respects_exclusion():
+    rng = ensure_rng(2)
+    log_w = np.zeros(6)
+    log_w[3] = -np.inf
+    for draw in gumbel_topk(rng, log_w, np.full(30, 5)):
+        assert 3 not in draw.tolist()
+
+
+def test_gumbel_topk_weight_bias():
+    # Item with overwhelming weight must almost always be drawn first.
+    rng = ensure_rng(3)
+    log_w = np.zeros(10)
+    log_w[4] = 12.0
+    firsts = [draw[0] for draw in gumbel_topk(rng, log_w, np.full(200, 3))]
+    assert sum(1 for f in firsts if f == 4) > 190
+
+
+def test_gumbel_topk_rejects_2d():
+    rng = ensure_rng(0)
+    with pytest.raises(SynthesisError):
+        gumbel_topk(rng, np.zeros((2, 3)), np.array([1]))
+
+
+# ---------------------------------------------------------------------------
+# truncated_normal_sizes
+# ---------------------------------------------------------------------------
+
+
+def test_sizes_within_bounds():
+    rng = ensure_rng(4)
+    sizes = truncated_normal_sizes(rng, 5000, mean=9, sigma=3.2, lower=2, upper=38)
+    assert sizes.min() >= 2
+    assert sizes.max() <= 38
+    assert abs(sizes.mean() - 9) < 0.5
+
+
+def test_sizes_zero_count():
+    rng = ensure_rng(0)
+    assert truncated_normal_sizes(rng, 0, 9, 3, 2, 38).size == 0
+
+
+def test_sizes_invalid_bounds():
+    rng = ensure_rng(0)
+    with pytest.raises(SynthesisError):
+        truncated_normal_sizes(rng, 10, 9, 3, lower=10, upper=5)
+    with pytest.raises(SynthesisError):
+        truncated_normal_sizes(rng, -1, 9, 3, 2, 38)
+
+
+def test_sizes_extreme_mean_clipped():
+    rng = ensure_rng(5)
+    sizes = truncated_normal_sizes(rng, 100, mean=100, sigma=1, lower=2, upper=38)
+    assert (sizes == 38).all()
+
+
+@given(
+    st.integers(0, 500),
+    st.floats(2.0, 20.0),
+    st.floats(0.5, 6.0),
+)
+@settings(max_examples=40)
+def test_sizes_property_bounds(count, mean, sigma):
+    rng = ensure_rng(7)
+    sizes = truncated_normal_sizes(rng, count, mean, sigma, 2, 38)
+    assert sizes.size == count
+    if count:
+        assert sizes.min() >= 2
+        assert sizes.max() <= 38

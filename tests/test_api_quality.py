@@ -1,0 +1,76 @@
+"""API-quality gates: public-surface documentation and conventions.
+
+These tests enforce the repository's documentation contract: every
+public module, class and function across the package carries a
+docstring, and the top-level ``__all__`` names resolve.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+_SKIP_MODULES = {"repro.lexicon._seed_data"}
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in _SKIP_MODULES:
+            continue
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize(
+    "module", ALL_MODULES, ids=[m.__name__ for m in ALL_MODULES]
+)
+def test_module_has_docstring(module):
+    assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+
+@pytest.mark.parametrize(
+    "module", ALL_MODULES, ids=[m.__name__ for m in ALL_MODULES]
+)
+def test_public_callables_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if not inspect.getdoc(obj):
+            undocumented.append(name)
+    assert not undocumented, (
+        f"{module.__name__} has undocumented public callables: "
+        f"{undocumented}"
+    )
+
+
+@pytest.mark.parametrize(
+    "module", ALL_MODULES, ids=[m.__name__ for m in ALL_MODULES]
+)
+def test_all_exports_resolve(module):
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for name in exported:
+        assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+def test_top_level_exports_importable():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_version_present():
+    assert repro.__version__

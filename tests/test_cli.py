@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_generate_and_stats(tmp_path, capsys):
+    output = tmp_path / "corpus.jsonl"
+    code = main([
+        "generate", str(output), "--scale", "0.02", "--seed", "7",
+        "--regions", "KOR", "JPN",
+    ])
+    assert code == 0
+    assert output.exists()
+    out = capsys.readouterr().out
+    assert "wrote" in out
+
+    code = main(["stats", str(output)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "KOR" in out and "JPN" in out
+    assert "cuisines" in out
+
+
+def test_resolve_command(capsys):
+    code = main(["resolve", "2 cups chopped tomatoes", "soy sauce"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tomato" in out
+    assert "soybean sauce" in out
+
+
+def test_resolve_unresolved(capsys):
+    main(["resolve", "powdered moon rock"])
+    assert "(unresolved)" in capsys.readouterr().out
+
+
+def test_experiment_command(capsys):
+    code = main([
+        "experiment", "fig1", "--scale", "0.02", "--seed", "3",
+        "--regions", "KOR", "JPN",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Fig. 1" in out
+
+
+def test_experiment_artifacts(tmp_path, capsys):
+    code = main([
+        "experiment", "table1", "--scale", "0.02", "--seed", "3",
+        "--regions", "KOR", "JPN", "--artifacts", str(tmp_path),
+    ])
+    assert code == 0
+    assert (tmp_path / "table1.csv").exists()
+
+
+def test_evolve_command(capsys):
+    code = main([
+        "evolve", "CM-R", "KOR", "--scale", "0.05", "--seed", "2",
+        "--runs", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "CM-R" in out
+    assert "distance to empirical" in out
+
+
+def test_report_command(tmp_path, capsys):
+    output = tmp_path / "report.md"
+    code = main([
+        "report", str(output), "--scale", "0.03", "--seed", "4",
+        "--runs", "2", "--regions", "KOR", "JPN", "--no-ablations",
+    ])
+    assert code == 0
+    assert output.exists()
+    text = output.read_text()
+    assert "## Fig. 4" in text
+    out = capsys.readouterr().out
+    assert "fig4_null_separation" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(SystemExit):
+        main(["evolve", "CM-X", "KOR"])
+
+
+def test_stats_missing_file_clean_error(capsys):
+    code = main(["stats", "/nonexistent/corpus.jsonl"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "error:" in err
+
+
+def test_evolve_unknown_region_clean_error(capsys):
+    code = main(["evolve", "CM-R", "ATLANTIS", "--scale", "0.02"])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,88 @@
+"""Tests for RNG discipline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import (
+    choice_index,
+    derive_seed,
+    ensure_rng,
+    iter_child_rngs,
+    shuffled,
+    spawn,
+)
+
+
+def test_ensure_rng_accepts_int_seed():
+    a = ensure_rng(42)
+    b = ensure_rng(42)
+    assert a.random() == b.random()
+
+
+def test_ensure_rng_passes_through_generator():
+    gen = np.random.default_rng(0)
+    assert ensure_rng(gen) is gen
+
+
+def test_ensure_rng_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_ensure_rng_rejects_bad_types():
+    with pytest.raises(TypeError):
+        ensure_rng("not a seed")  # type: ignore[arg-type]
+
+
+def test_spawn_children_are_independent():
+    children = spawn(ensure_rng(7), 3)
+    draws = [child.random(5).tolist() for child in children]
+    assert draws[0] != draws[1] != draws[2]
+
+
+def test_spawn_deterministic_from_seed():
+    a = spawn(ensure_rng(7), 2)
+    b = spawn(ensure_rng(7), 2)
+    assert a[0].random() == b[0].random()
+    assert a[1].random() == b[1].random()
+
+
+def test_spawn_zero_children():
+    assert spawn(ensure_rng(0), 0) == []
+
+
+def test_spawn_negative_raises():
+    with pytest.raises(ValueError):
+        spawn(ensure_rng(0), -1)
+
+
+def test_derive_seed_in_range():
+    seed = derive_seed(ensure_rng(3))
+    assert 0 <= seed < 2**63
+
+
+def test_choice_index_bounds():
+    rng = ensure_rng(5)
+    for _ in range(100):
+        assert 0 <= choice_index(rng, 10) < 10
+
+
+def test_choice_index_empty_raises():
+    with pytest.raises(ValueError):
+        choice_index(ensure_rng(0), 0)
+
+
+@given(st.lists(st.integers(), min_size=0, max_size=30), st.integers(0, 2**31))
+@settings(max_examples=50)
+def test_shuffled_is_permutation(items, seed):
+    result = shuffled(ensure_rng(seed), items)
+    assert sorted(result) == sorted(items)
+
+
+def test_iter_child_rngs_yields_n():
+    children = list(iter_child_rngs(1, 4))
+    assert len(children) == 4
+    assert all(isinstance(c, np.random.Generator) for c in children)

@@ -1,0 +1,83 @@
+"""Tests for ASCII rendering."""
+
+from __future__ import annotations
+
+from repro.viz.ascii import (
+    render_boxplots,
+    render_curves,
+    render_histogram,
+    render_table,
+)
+
+
+def test_render_table_alignment():
+    text = render_table(
+        ("Name", "Value"), [("a", 1), ("bbbb", 22)], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "Name" in lines[1]
+    assert all("|" in line for line in lines[1:] if "-" not in line)
+
+
+def test_render_table_empty_rows():
+    text = render_table(("A", "B"), [])
+    assert "A" in text
+
+
+def test_render_curves_markers_and_legend():
+    text = render_curves(
+        {"emp": [0.5, 0.3, 0.1], "model": [0.4, 0.2, 0.05]},
+        width=30, height=8, title="curves",
+    )
+    assert "curves" in text
+    assert "emp" in text and "model" in text
+    assert "log-log" in text
+
+
+def test_render_curves_empty():
+    assert "no data" in render_curves({}, title="x")
+    assert "no positive data" in render_curves({"z": [0.0]}, title="x")
+
+
+def test_render_curves_single_point():
+    text = render_curves({"one": [0.5]})
+    assert "one" in text
+
+
+def test_render_curves_linear_mode():
+    text = render_curves({"a": [0.5, 0.25]}, log_log=False)
+    assert "log-log" not in text
+
+
+def test_render_histogram():
+    text = render_histogram([2, 3, 4], [1, 10, 5], title="H")
+    lines = text.splitlines()
+    assert lines[0] == "H"
+    assert "█" in text
+    assert "10" in text
+
+
+def test_render_histogram_empty():
+    assert "no data" in render_histogram([], [])
+
+
+def test_render_boxplots():
+    text = render_boxplots(
+        {
+            "Spice": (0.1, 0.3, 0.5, 0.8, 1.2),
+            "Dairy": (0.0, 0.2, 0.4, 0.6, 0.9),
+        },
+        title="B",
+    )
+    assert "Spice" in text and "Dairy" in text
+    assert "█" in text and "┃" in text
+
+
+def test_render_boxplots_empty():
+    assert "no data" in render_boxplots({})
+
+
+def test_render_boxplots_degenerate_range():
+    text = render_boxplots({"X": (0.5, 0.5, 0.5, 0.5, 0.5)})
+    assert "X" in text

@@ -1,0 +1,39 @@
+"""Tests for artifact export."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from repro.viz.export import write_csv, write_curves_csv, write_json
+
+
+def test_write_csv(tmp_path):
+    path = write_csv(
+        tmp_path / "deep" / "t.csv", ("a", "b"), [(1, "x"), (2, "y")]
+    )
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows == [["a", "b"], ["1", "x"], ["2", "y"]]
+
+
+def test_write_json(tmp_path):
+    path = write_json(tmp_path / "t.json", {"x": [1, 2]})
+    assert json.loads(path.read_text()) == {"x": [1, 2]}
+
+
+def test_write_json_fallback_to_str(tmp_path):
+    path = write_json(tmp_path / "t.json", {"p": tmp_path})
+    assert str(tmp_path) in path.read_text()
+
+
+def test_write_curves_csv(tmp_path):
+    path = write_curves_csv(
+        tmp_path / "curves.csv", {"a": [0.5, 0.2], "b": [0.9]}
+    )
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["label", "rank", "frequency"]
+    assert ["a", "1", "0.5"] in rows
+    assert ["a", "2", "0.2"] in rows
+    assert ["b", "1", "0.9"] in rows
