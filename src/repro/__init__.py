@@ -19,7 +19,8 @@ Subpackages: :mod:`repro.lexicon` (ingredient dictionary + aliasing),
 (indexes/queries), :mod:`repro.synthesis` (calibrated corpus generator),
 :mod:`repro.flavor` (FlavorDB stand-in), :mod:`repro.analysis` (Secs.
 III-IV metrics and mining), :mod:`repro.models` (Sec. V evolution
-models), :mod:`repro.experiments` (per-table/figure drivers).
+models), :mod:`repro.experiments` (per-table/figure drivers),
+:mod:`repro.runtime` (parallel ensemble execution + run caching).
 """
 
 from repro.analysis import (
@@ -74,6 +75,13 @@ from repro.nutrition import (
     health_score,
     nutrition_fitness,
 )
+from repro.runtime import (
+    RunCache,
+    RuntimeConfig,
+    execute_runs,
+    get_executor,
+    parallel_map,
+)
 from repro.storage import RecipeStore
 from repro.synthesis import WorldKitchen, generate_world_corpus
 
@@ -123,6 +131,11 @@ __all__ = [
     "PAPER_MODELS",
     "create_model",
     "run_ensemble",
+    "RunCache",
+    "RuntimeConfig",
+    "execute_runs",
+    "get_executor",
+    "parallel_map",
     "RecipeStore",
     "WorldKitchen",
     "generate_world_corpus",

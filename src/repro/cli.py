@@ -9,6 +9,11 @@ Subcommands::
     repro resolve     — resolve raw ingredient mentions via the lexicon
 
 Every stochastic command accepts ``--seed`` for exact reproducibility.
+Commands that execute model ensembles (``experiment``, ``evolve``,
+``report``) also accept ``--backend {serial,thread,process}``,
+``--jobs N`` (0 = all cores) and ``--cache-dir PATH`` — results are
+bit-identical across backends for a fixed seed, and the run cache lets
+repeated invocations reuse completed runs.
 """
 
 from __future__ import annotations
@@ -29,10 +34,34 @@ from repro.models.ensemble import run_ensemble
 from repro.models.params import CuisineSpec
 from repro.models.registry import available_models, create_model
 from repro.rng import DEFAULT_SEED
+from repro.runtime import BACKENDS, RuntimeConfig
 from repro.synthesis.worldgen import WorldKitchen
 from repro.viz.ascii import render_table
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the execution-runtime flags shared by ensemble commands."""
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default="serial",
+        help="ensemble execution backend (default: serial)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel workers; 0 = all cores (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="on-disk run cache directory (reused across invocations)",
+    )
+
+
+def _runtime_from_args(args: argparse.Namespace) -> RuntimeConfig:
+    """Build the RuntimeConfig a command's flags describe."""
+    return RuntimeConfig(
+        backend=args.backend, jobs=args.jobs, cache_dir=args.cache_dir
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--regions", nargs="*", default=None)
     experiment.add_argument("--artifacts", type=Path, default=None,
                             help="directory for CSV/JSON artifacts")
+    _add_runtime_flags(experiment)
 
     evolve = sub.add_parser("evolve", help="run one evolution model")
     evolve.add_argument("model", choices=list(available_models()))
@@ -76,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     evolve.add_argument("--scale", type=float, default=0.08)
     evolve.add_argument("--seed", type=int, default=DEFAULT_SEED)
     evolve.add_argument("--runs", type=int, default=8)
+    _add_runtime_flags(evolve)
 
     resolve = sub.add_parser(
         "resolve", help="resolve raw ingredient mentions against the lexicon"
@@ -91,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--runs", type=int, default=5)
     report.add_argument("--regions", nargs="*", default=None)
     report.add_argument("--no-ablations", action="store_true")
+    _add_runtime_flags(report)
     return parser
 
 
@@ -134,6 +166,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         mining=MiningConfig(min_support=args.min_support),
         ensemble_runs=args.runs,
         artifacts_dir=args.artifacts,
+        runtime=_runtime_from_args(args),
     )
     result = run_experiment(args.id, context)
     print(result.render())
@@ -149,7 +182,10 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
     view = dataset.cuisine(args.region)
     spec = CuisineSpec.from_view(view, lexicon)
     model = create_model(args.model)
-    result = run_ensemble(model, spec, n_runs=args.runs, seed=args.seed)
+    result = run_ensemble(
+        model, spec, n_runs=args.runs, seed=args.seed,
+        runtime=_runtime_from_args(args),
+    )
     empirical, _ = combination_curve(dataset, view.region_code, lexicon)
     distance = curve_distance(empirical, result.ingredient_curve)
     trace = result.runs[0].trace
@@ -196,6 +232,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         seed=args.seed,
         region_codes=tuple(args.regions) if args.regions else None,
         ensemble_runs=args.runs,
+        runtime=_runtime_from_args(args),
     )
     report = build_report(
         context, include_ablations=not args.no_ablations

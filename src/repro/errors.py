@@ -28,6 +28,8 @@ __all__ = [
     "ModelError",
     "ParameterError",
     "ExperimentError",
+    "ExecutionError",
+    "RunCacheError",
 ]
 
 
@@ -160,3 +162,16 @@ class ParameterError(ModelError, ValueError):
 
 class ExperimentError(ReproError):
     """A problem while running an experiment driver."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime domain
+# ---------------------------------------------------------------------------
+
+
+class ExecutionError(ReproError):
+    """A problem in the parallel execution runtime (backends, jobs)."""
+
+
+class RunCacheError(ExecutionError):
+    """A problem reading or writing the on-disk run cache."""

@@ -97,7 +97,8 @@ def _mean_model_distance(
         )
         model = create_model(model_name, params=params)
         result = run_ensemble(
-            model, spec, n_runs=context.ensemble_runs, seed=root, mining=mining
+            model, spec, n_runs=context.ensemble_runs, seed=root,
+            mining=mining, runtime=context.runtime,
         )
         distances.append(curve_distance(empirical, result.ingredient_curve))
     return float(np.mean(distances))
@@ -206,7 +207,7 @@ def run_ablation_null_sampling(
         cm = create_model("CM-R")
         cm_result = run_ensemble(
             cm, spec, n_runs=context.ensemble_runs, seed=root,
-            mining=context.mining,
+            mining=context.mining, runtime=context.runtime,
         )
         cm_distance = curve_distance(empirical, cm_result.ingredient_curve)
         row: list[object] = [code, f"{cm_distance:.4f}"]
@@ -214,7 +215,7 @@ def run_ablation_null_sampling(
             nm = NullModel(sample_from=sample_from)
             nm_result = run_ensemble(
                 nm, spec, n_runs=context.ensemble_runs, seed=root,
-                mining=context.mining,
+                mining=context.mining, runtime=context.runtime,
             )
             row.append(
                 f"{curve_distance(empirical, nm_result.ingredient_curve):.4f}"
@@ -251,7 +252,7 @@ def run_ablation_metric(
             model = create_model(name)
             result = run_ensemble(
                 model, spec, n_runs=context.ensemble_runs, seed=root,
-                mining=context.mining,
+                mining=context.mining, runtime=context.runtime,
             )
             model_curves[name] = result.ingredient_curve
         by_kind = {}

@@ -20,6 +20,7 @@ from repro.errors import ExperimentError
 from repro.lexicon.builder import standard_lexicon
 from repro.lexicon.lexicon import Lexicon
 from repro.rng import DEFAULT_SEED
+from repro.runtime import RuntimeConfig
 from repro.synthesis.worldgen import WorldKitchen
 
 __all__ = ["ExperimentContext", "ExperimentResultProtocol"]
@@ -52,6 +53,10 @@ class ExperimentContext:
             the paper uses 100; interactive contexts default lower.
         artifacts_dir: Where results write CSV/JSON artifacts (``None``
             disables writing).
+        runtime: Execution backend/jobs/cache for model ensembles and
+            per-cuisine fan-out (:mod:`repro.runtime`); the default is
+            serial with no cache, and results are backend-independent
+            for a fixed ``seed``.
     """
 
     lexicon: Lexicon
@@ -61,6 +66,7 @@ class ExperimentContext:
     mining: MiningConfig = DEFAULT_MINING
     ensemble_runs: int = 10
     artifacts_dir: Path | None = None
+    runtime: RuntimeConfig = RuntimeConfig()
 
     @classmethod
     def create(
@@ -72,6 +78,7 @@ class ExperimentContext:
         ensemble_runs: int = 10,
         artifacts_dir: str | Path | None = None,
         lexicon: Lexicon | None = None,
+        runtime: RuntimeConfig | None = None,
     ) -> "ExperimentContext":
         """Build a context with a freshly generated corpus.
 
@@ -84,6 +91,7 @@ class ExperimentContext:
             artifacts_dir: Optional artifact output directory.
             lexicon: Override lexicon (default: the standard 721-entity
                 one).
+            runtime: Execution runtime configuration (default serial).
         """
         if scale <= 0:
             raise ExperimentError(f"scale must be > 0, got {scale}")
@@ -102,11 +110,16 @@ class ExperimentContext:
             mining=mining,
             ensemble_runs=ensemble_runs,
             artifacts_dir=Path(artifacts_dir) if artifacts_dir else None,
+            runtime=runtime if runtime is not None else RuntimeConfig(),
         )
 
     def with_dataset(self, dataset: RecipeDataset) -> "ExperimentContext":
         """Copy of this context over a different corpus."""
         return replace(self, dataset=dataset)
+
+    def with_runtime(self, runtime: RuntimeConfig) -> "ExperimentContext":
+        """Copy of this context executing through a different runtime."""
+        return replace(self, runtime=runtime)
 
     def artifact_path(self, name: str) -> Path | None:
         """Path for an artifact file, or ``None`` if writing is disabled."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.analysis.invariants import InvariantAnalysis, analyze_invariants
 from repro.config import PAPER
 from repro.experiments.base import ExperimentContext
+from repro.runtime import parallel_map
 from repro.viz.ascii import render_curves, render_table
 from repro.viz.export import write_curves_csv
 
@@ -78,13 +79,13 @@ class Fig3Result:
 
 def run_fig3(context: ExperimentContext) -> Fig3Result:
     """Regenerate Fig. 3 from the context's corpus."""
-    ingredient = analyze_invariants(
-        context.dataset, context.lexicon, level="ingredient",
-        mining=context.mining,
-    )
-    category = analyze_invariants(
-        context.dataset, context.lexicon, level="category",
-        mining=context.mining,
+    ingredient, category = parallel_map(
+        lambda level: analyze_invariants(
+            context.dataset, context.lexicon, level=level,
+            mining=context.mining,
+        ),
+        ("ingredient", "category"),
+        runtime=context.runtime,
     )
     result = Fig3Result(
         ingredient=ingredient, category=category, scale=context.scale

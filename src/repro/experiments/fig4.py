@@ -186,6 +186,7 @@ def run_fig4(
                 mining=context.mining,
                 lexicon=context.lexicon,
                 include_category_level=False,
+                runtime=context.runtime,
             )
             if level == "ingredient":
                 model_curves[name] = result.ingredient_curve

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from repro.analysis.overrepresentation import top_overrepresented
 from repro.corpus.regions import get_region
 from repro.experiments.base import ExperimentContext
+from repro.runtime import parallel_map
 from repro.viz.ascii import render_table
 from repro.viz.export import write_csv
 
@@ -102,25 +103,26 @@ class Table1Result:
 
 def run_table1(context: ExperimentContext, k: int = 5) -> Table1Result:
     """Regenerate Table I from the context's corpus."""
-    rows = []
-    for code in context.dataset.region_codes():
+
+    def row_for(code: str) -> Table1Row:
         region = get_region(code)
         view = context.dataset.cuisine(code)
         top = top_overrepresented(context.dataset, code, context.lexicon, k=k)
         names = tuple(entry.name for entry in top)
-        overlap = len(set(names) & set(region.overrepresented))
-        rows.append(
-            Table1Row(
-                region_code=code,
-                n_recipes=view.n_recipes,
-                paper_recipes=region.n_recipes,
-                n_ingredients=view.n_ingredients,
-                paper_ingredients=region.n_ingredients,
-                top5=names,
-                paper_top5=region.overrepresented,
-                overlap=overlap,
-            )
+        return Table1Row(
+            region_code=code,
+            n_recipes=view.n_recipes,
+            paper_recipes=region.n_recipes,
+            n_ingredients=view.n_ingredients,
+            paper_ingredients=region.n_ingredients,
+            top5=names,
+            paper_top5=region.overrepresented,
+            overlap=len(set(names) & set(region.overrepresented)),
         )
+
+    rows = parallel_map(
+        row_for, context.dataset.region_codes(), runtime=context.runtime
+    )
     result = Table1Result(rows=tuple(rows), scale=context.scale)
     path = context.artifact_path("table1.csv")
     if path is not None:

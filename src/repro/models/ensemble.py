@@ -24,7 +24,8 @@ from repro.errors import ModelError
 from repro.lexicon.lexicon import Lexicon
 from repro.models.base import CulinaryEvolutionModel, EvolutionRun
 from repro.models.params import CuisineSpec
-from repro.rng import SeedLike, ensure_rng, spawn
+from repro.rng import SeedLike, ensure_rng, spawn_seeds
+from repro.runtime import RuntimeConfig, execute_runs
 
 __all__ = ["EnsembleResult", "run_ensemble", "ensemble_curve"]
 
@@ -100,6 +101,7 @@ def run_ensemble(
     mining: MiningConfig = DEFAULT_MINING,
     lexicon: Lexicon | None = None,
     include_category_level: bool = False,
+    runtime: RuntimeConfig | None = None,
 ) -> EnsembleResult:
     """Run ``model`` ``n_runs`` times and aggregate (Sec. V).
 
@@ -111,6 +113,10 @@ def run_ensemble(
         mining: Support threshold configuration (paper: 0.05).
         lexicon: Needed only when ``include_category_level``.
         include_category_level: Also aggregate category combinations.
+        runtime: Execution backend/jobs/cache for the runs
+            (:mod:`repro.runtime`); ``None`` executes serially with no
+            cache.  Results are bit-identical across backends for a
+            fixed ``seed``.
 
     Returns:
         An :class:`EnsembleResult`.
@@ -119,7 +125,7 @@ def run_ensemble(
         raise ModelError(f"n_runs must be >= 1, got {n_runs}")
     root = ensure_rng(seed)
     runs = tuple(
-        model.run(spec, seed=child) for child in spawn(root, n_runs)
+        execute_runs(model, spec, spawn_seeds(root, n_runs), runtime=runtime)
     )
     ingredient_curve = ensemble_curve(
         runs, model.name, mining=mining, level="ingredient"

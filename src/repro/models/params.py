@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-import numpy as np
 
 from repro.config import PAPER
 from repro.corpus.dataset import CuisineView

@@ -13,7 +13,16 @@ from typing import Iterator, Sequence, TypeVar, Union
 
 import numpy as np
 
-__all__ = ["SeedLike", "ensure_rng", "spawn", "derive_seed", "choice_index", "shuffled"]
+__all__ = [
+    "SeedLike",
+    "ensure_rng",
+    "spawn",
+    "spawn_seeds",
+    "rng_from_seed",
+    "derive_seed",
+    "choice_index",
+    "shuffled",
+]
 
 SeedLike = Union[int, np.random.Generator, None]
 
@@ -45,6 +54,32 @@ def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     )
 
 
+def spawn_seeds(rng: np.random.Generator, n: int) -> list[int]:
+    """Draw ``n`` independent 63-bit child seeds from ``rng``.
+
+    This is the transportable half of :func:`spawn`: integer seeds can
+    cross process boundaries and key on-disk caches, and
+    :func:`rng_from_seed` reconstructs the exact child generator
+    :func:`spawn` would have produced.  The draw consumes ``rng`` state
+    exactly like :func:`spawn` does, so the two are interchangeable
+    without disturbing downstream streams.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of seeds: {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [int(s) for s in seeds]
+
+
+def rng_from_seed(seed: int) -> np.random.Generator:
+    """Reconstruct the child generator for one :func:`spawn_seeds` seed.
+
+    Every backend of :mod:`repro.runtime` builds its per-run generators
+    through this single function, which is what makes serial, thread and
+    process execution bit-identical for a fixed master seed.
+    """
+    return np.random.default_rng(np.random.SeedSequence(int(seed)))
+
+
 def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """Derive ``n`` statistically independent child generators from ``rng``.
 
@@ -52,10 +87,7 @@ def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     spawning, so different children never share a stream even when used
     concurrently.
     """
-    if n < 0:
-        raise ValueError(f"cannot spawn a negative number of generators: {n}")
-    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
-    return [np.random.default_rng(np.random.SeedSequence(int(s))) for s in seeds]
+    return [rng_from_seed(seed) for seed in spawn_seeds(rng, n)]
 
 
 def derive_seed(rng: np.random.Generator) -> int:

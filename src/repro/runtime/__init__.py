@@ -1,0 +1,64 @@
+"""Parallel ensemble execution runtime.
+
+The paper's headline statistics are ensemble averages ("we create 100
+such sets of random copy-mutate recipes and study the aggregated
+statistics"), and every experiment driver bottlenecks on executing those
+independent runs.  This subsystem makes that fan-out a first-class,
+swappable concern:
+
+* :class:`RuntimeConfig` — backend ("serial" / "thread" / "process"),
+  worker count, optional cache directory;
+* :mod:`~repro.runtime.executor` — order-preserving map backends;
+* :mod:`~repro.runtime.runner` — deterministic run execution
+  (:func:`execute_runs`) built on per-run integer seed streams, plus
+  :func:`parallel_map` for per-cuisine fan-out inside experiments;
+* :mod:`~repro.runtime.cache` — an on-disk run cache keyed by
+  ``(model, params, cuisine, seed)`` shared across backends and
+  invocations.
+
+The determinism contract: for a fixed master seed, every backend
+produces **bit-identical** :class:`~repro.models.base.EvolutionRun`
+results, because per-run seeds are drawn once in the parent and each
+worker reconstructs its generator from the integer seed alone.
+"""
+
+from repro.runtime.cache import (
+    CACHE_FORMAT_VERSION,
+    CacheStats,
+    RunCache,
+    fingerprint_many,
+    run_fingerprint,
+)
+from repro.runtime.config import BACKENDS, RuntimeConfig
+from repro.runtime.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+)
+from repro.runtime.runner import (
+    RunRequest,
+    execute_request,
+    execute_runs,
+    parallel_map,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "Executor",
+    "ProcessExecutor",
+    "RunCache",
+    "RunRequest",
+    "RuntimeConfig",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "execute_request",
+    "execute_runs",
+    "fingerprint_many",
+    "get_executor",
+    "parallel_map",
+    "run_fingerprint",
+]

@@ -1,0 +1,244 @@
+"""On-disk cache of completed :class:`~repro.models.base.EvolutionRun`s.
+
+Runs are pure functions of ``(model configuration, cuisine spec, seed,
+record_history)``, so they cache perfectly: the key is a SHA-256 over a
+canonical JSON encoding of exactly those inputs (plus a format version),
+and the value is the pickled run.  Because every backend derives the
+same per-run integer seeds (:func:`repro.rng.spawn_seeds`), a cache
+populated by a process-parallel sweep is byte-for-byte reusable by a
+serial rerun — and vice versa — which is what lets experiments resume
+and share runs across invocations.
+
+Writes are atomic (temp file + :func:`os.replace`), so a cache directory
+can be shared by concurrent workers; unreadable entries are treated as
+misses and cleaned up rather than raised.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import RunCacheError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.models.base import CulinaryEvolutionModel, EvolutionRun
+    from repro.models.params import CuisineSpec
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "RunCache",
+    "fingerprint_many",
+    "run_fingerprint",
+]
+
+#: Bump when the canonical encoding or the pickled payload layout
+#: changes; old entries then miss instead of deserializing garbage.
+CACHE_FORMAT_VERSION = 1
+
+
+def _canonical(value: object) -> object:
+    """Reduce ``value`` to a JSON-stable structure for fingerprinting.
+
+    Dataclasses and plain objects carry their class name plus their
+    attribute state (two models with equal params must not collide, and
+    user-supplied strategies — a plain class implementing the
+    ``FitnessStrategy`` protocol — must key on *what they are*, never
+    on ``repr``, whose default form embeds the instance's memory
+    address and is different every run).  Mappings are sorted, enums
+    use their value, callables their qualified name.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__class__": type(value).__qualname__,
+            **{
+                field.name: _canonical(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, Mapping):
+        return {
+            "__mapping__": [
+                [_canonical(k), _canonical(v)]
+                for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+            ]
+        }
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_canonical(item) for item in value]
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=repr)
+        return items
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    if callable(value) and hasattr(value, "__qualname__"):
+        return {
+            "__callable__": f"{getattr(value, '__module__', '?')}."
+                            f"{value.__qualname__}"
+        }
+    state = getattr(value, "__dict__", None)
+    if state is not None:
+        return {
+            "__class__": type(value).__qualname__,
+            "state": _canonical(state),
+        }
+    return repr(value)
+
+
+def fingerprint_many(
+    model: "CulinaryEvolutionModel",
+    spec: "CuisineSpec",
+    seeds: "Sequence[int]",
+    record_history: bool = False,
+) -> list[str]:
+    """SHA-256 keys for many runs sharing one (model, spec).
+
+    The model/spec half of the payload — by far the expensive part to
+    canonicalize (a real cuisine spec holds hundreds of ingredient ids)
+    — is encoded once and reused for every seed, so keying a 100-run
+    ensemble costs one canonicalization, not a hundred.
+    """
+    base = {
+        "version": CACHE_FORMAT_VERSION,
+        "model": {
+            "class": type(model).__qualname__,
+            "name": model.name,
+            # Full instance state, not just params/fitness: models may
+            # carry extra behavioral knobs as plain attributes (e.g.
+            # NullModel.sample_from, CM-V's insert/delete rates), and
+            # two configurations that run differently must never share
+            # a cache key.
+            "state": _canonical(vars(model)),
+        },
+        "spec": _canonical(spec),
+        "record_history": bool(record_history),
+    }
+    encoded_base = json.dumps(base, sort_keys=True, separators=(",", ":"))
+    return [
+        hashlib.sha256(
+            f'{{"base":{encoded_base},"seed":{int(seed)}}}'.encode("utf-8")
+        ).hexdigest()
+        for seed in seeds
+    ]
+
+
+def run_fingerprint(
+    model: "CulinaryEvolutionModel",
+    spec: "CuisineSpec",
+    seed: int,
+    record_history: bool = False,
+) -> str:
+    """SHA-256 key identifying one run's complete inputs."""
+    return fingerprint_many(model, spec, [seed], record_history)[0]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`RunCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when unused)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class RunCache:
+    """A directory of pickled runs keyed by :func:`run_fingerprint`.
+
+    Args:
+        directory: Cache root; created (with parents) if missing.
+
+    Raises:
+        RunCacheError: If the path exists but is not a directory.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        if self.directory.exists() and not self.directory.is_dir():
+            raise RunCacheError(
+                f"cache path {self.directory} exists and is not a directory"
+            )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of one cache entry."""
+        return self.directory / f"{key}.run.pkl"
+
+    def get(self, key: str) -> "EvolutionRun | None":
+        """Load a cached run, or ``None`` on miss.
+
+        Corrupt or unreadable entries count as misses and are removed so
+        they do not poison every future lookup.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                run = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return run
+
+    def put(self, key: str, run: "EvolutionRun") -> None:
+        """Store a run atomically (safe under concurrent writers)."""
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump(run, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except (OSError, pickle.PicklingError) as exc:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise RunCacheError(f"failed to write cache entry: {exc}") from exc
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.run.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.run.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

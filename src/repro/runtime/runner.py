@@ -1,0 +1,163 @@
+"""Run execution: deterministic fan-out of model runs over a backend.
+
+This is the seam between the *what* (a model, a cuisine spec, a list of
+per-run integer seeds from :func:`repro.rng.spawn_seeds`) and the *how*
+(which executor backend, how many workers, whether a run cache sits in
+front).  Determinism is structural rather than incidental:
+
+1. the parent draws every per-run seed up front, in one place, from the
+   master generator — so the master stream advances identically no
+   matter the backend;
+2. each worker rebuilds its generator from its integer seed alone via
+   :func:`repro.rng.rng_from_seed` — so a run's result is a pure
+   function of ``(model, spec, seed)``;
+3. executors preserve input order — so the assembled ensemble is
+   bit-identical across serial, thread and process execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import RunCacheError
+from repro.rng import rng_from_seed
+from repro.runtime.cache import RunCache, fingerprint_many, run_fingerprint
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.executor import get_executor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.models.base import CulinaryEvolutionModel, EvolutionRun
+    from repro.models.params import CuisineSpec
+
+__all__ = ["RunRequest", "execute_request", "execute_runs", "parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One simulation to execute: a pure, picklable work item.
+
+    Attributes:
+        model: The configured evolution model (frozen params/fitness).
+        spec: Cuisine inputs.
+        seed: Integer child seed from :func:`repro.rng.spawn_seeds`.
+        record_history: Forwarded to ``model.run``.
+    """
+
+    model: "CulinaryEvolutionModel"
+    spec: "CuisineSpec"
+    seed: int
+    record_history: bool = False
+
+    def fingerprint(self) -> str:
+        """Cache key for this request's complete inputs."""
+        return run_fingerprint(
+            self.model, self.spec, self.seed, self.record_history
+        )
+
+
+def execute_request(request: RunRequest) -> "EvolutionRun":
+    """Execute one run (module-level so the process backend can pickle it)."""
+    return request.model.run(
+        request.spec,
+        seed=rng_from_seed(request.seed),
+        record_history=request.record_history,
+    )
+
+
+def execute_runs(
+    model: "CulinaryEvolutionModel",
+    spec: "CuisineSpec",
+    seeds: Sequence[int],
+    runtime: RuntimeConfig | None = None,
+    record_history: bool = False,
+    cache: RunCache | None = None,
+) -> list["EvolutionRun"]:
+    """Execute one run per seed, in seed order, through the runtime.
+
+    When a cache is configured (explicitly, or via
+    ``runtime.cache_dir``), cached runs are served from disk and only
+    the misses are dispatched to the backend; fresh results are written
+    back so later invocations — any backend, any process — reuse them.
+
+    Args:
+        model: The configured model.
+        spec: Cuisine inputs.
+        seeds: Per-run integer seeds (order defines result order).
+        runtime: Backend/jobs/cache selection; ``None`` = serial.
+        record_history: Forwarded to every run.
+        cache: Explicit cache instance (overrides ``runtime.cache_dir``;
+            useful for inspecting hit/miss stats).
+
+    Returns:
+        Runs aligned with ``seeds``.
+    """
+    config = runtime if runtime is not None else RuntimeConfig()
+    if cache is None and config.cache_dir is not None:
+        cache = RunCache(config.cache_dir)
+    requests = [
+        RunRequest(model=model, spec=spec, seed=int(seed),
+                   record_history=record_history)
+        for seed in seeds
+    ]
+
+    results: list["EvolutionRun | None"] = [None] * len(requests)
+    pending: list[int] = []
+    keys: list[str] = []
+    if cache is not None:
+        # One canonicalization for the whole batch — only the seed
+        # varies between requests.
+        keys = fingerprint_many(
+            model, spec, [request.seed for request in requests],
+            record_history,
+        )
+        for index, key in enumerate(keys):
+            cached = cache.get(key)
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+    else:
+        pending = list(range(len(requests)))
+
+    if pending:
+        executor = get_executor(config)
+        computed = executor.map(
+            execute_request, [requests[index] for index in pending]
+        )
+        for index, run in zip(pending, computed):
+            results[index] = run
+            if cache is not None:
+                # The cache is an optimization: a write failure
+                # (disk full, permissions, unpicklable payload) must
+                # never discard computed results.  Stop writing after
+                # the first failure; lookups already succeeded.
+                try:
+                    cache.put(keys[index], run)
+                except RunCacheError:
+                    cache = None
+    return results  # type: ignore[return-value]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    runtime: RuntimeConfig | None = None,
+) -> list[R]:
+    """Order-preserving map for arbitrary (closure-friendly) callables.
+
+    Experiment drivers use this for per-cuisine fan-out where the work
+    is a closure over the experiment context.  Closures cannot cross
+    process boundaries, so the ``process`` backend degrades to threads
+    here; model runs — the actual hot path — go through
+    :func:`execute_runs`, which is fully process-parallel.
+    """
+    config = runtime if runtime is not None else RuntimeConfig()
+    if config.backend == "process":
+        config = RuntimeConfig(
+            backend="thread", jobs=config.jobs, cache_dir=config.cache_dir
+        )
+    return get_executor(config).map(fn, items)

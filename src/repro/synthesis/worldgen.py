@@ -24,6 +24,7 @@ path used by experiments) and raw website-style records
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 
@@ -40,8 +41,6 @@ from repro.rng import SeedLike, derive_seed, ensure_rng
 from repro.synthesis.archetypes import (
     ARCHETYPES,
     REGION_PROFILES,
-    CuisineProfile,
-    DishArchetype,
     validate_archetypes,
 )
 from repro.synthesis.noise import MentionRenderer
@@ -117,7 +116,14 @@ class WorldKitchen:
 
     def _region_rng(self, region: Region, purpose: str) -> np.random.Generator:
         # Independent, reproducible stream per (seed, region, purpose).
-        key = hash((self._root_seed, region.code, purpose)) & 0x7FFFFFFF
+        # The key must be derived hash-stably: Python's str hashing is
+        # salted per process (PYTHONHASHSEED), which used to make every
+        # corpus differ across interpreter invocations — poisoning the
+        # runtime's on-disk run cache and any cross-process comparison.
+        digest = hashlib.sha256(
+            f"{self._root_seed}:{region.code}:{purpose}".encode("utf-8")
+        ).digest()
+        key = int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
         return np.random.default_rng(np.random.SeedSequence((self._root_seed, key)))
 
     def _build_blueprint(self, region: Region) -> CuisineBlueprint:

@@ -2,9 +2,16 @@
 
 Expensive objects (the standard lexicon, a small multi-cuisine corpus)
 are session-scoped; tests must treat them as immutable.
+
+Fast mode: setting ``REPRO_FAST=1`` (CI does) shrinks the ensemble
+sizes integration tests request, via the :func:`ensemble_runs` fixture,
+so the suite stays within a few minutes on shared runners.
 """
 
 from __future__ import annotations
+
+import os
+from typing import Callable
 
 import pytest
 
@@ -15,6 +22,27 @@ from repro.lexicon.categories import Category
 from repro.lexicon.ingredient import Ingredient
 from repro.lexicon.lexicon import Lexicon
 from repro.synthesis.worldgen import WorldKitchen
+
+#: True when the suite runs in fast mode (``REPRO_FAST=1``).
+FAST_MODE = os.environ.get("REPRO_FAST", "") == "1"
+
+#: Ensemble-size ceiling applied in fast mode.
+FAST_MAX_RUNS = 2
+
+
+@pytest.fixture(scope="session")
+def ensemble_runs() -> Callable[[int], int]:
+    """Scale an ensemble size for the current mode.
+
+    Tests ask for the run count they want at full fidelity
+    (``ensemble_runs(4)``); in fast mode the count is capped at
+    :data:`FAST_MAX_RUNS` so CI smoke jobs stay quick.
+    """
+
+    def scaled(n: int) -> int:
+        return min(n, FAST_MAX_RUNS) if FAST_MODE else n
+
+    return scaled
 
 
 @pytest.fixture(scope="session")

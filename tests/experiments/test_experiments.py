@@ -6,7 +6,6 @@ import json
 
 import pytest
 
-from repro.config import MiningConfig
 from repro.errors import ExperimentError
 from repro.experiments.base import ExperimentContext
 from repro.experiments.fig1 import run_fig1

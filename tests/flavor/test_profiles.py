@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.flavor.profiles import build_flavor_profiles
-from repro.lexicon.builder import build_standard_lexicon
 
 
 @pytest.fixture(scope="module")

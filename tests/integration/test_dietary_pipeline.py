@@ -27,14 +27,14 @@ from repro.nutrition import (
 
 
 @pytest.fixture(scope="module")
-def pipeline(lexicon, small_corpus):
+def pipeline(lexicon, small_corpus, ensemble_runs):
     table = build_nutrition_table(lexicon, seed=5)
     view = small_corpus.cuisine("ITA")
     spec = CuisineSpec.from_view(view, lexicon)
     model = CopyMutateCategory(
         fitness=nutrition_fitness(lexicon, table, jitter=0.05)
     )
-    ensemble = run_ensemble(model, spec, n_runs=4, seed=5)
+    ensemble = run_ensemble(model, spec, n_runs=ensemble_runs(4), seed=5)
     return table, view, spec, ensemble
 
 

@@ -59,7 +59,7 @@ def test_raw_to_analysis_pipeline(lexicon, tmp_path):
     assert 2 <= stats.mean_recipe_size <= 38
 
 
-def test_full_model_comparison_pipeline(lexicon):
+def test_full_model_comparison_pipeline(lexicon, ensemble_runs):
     """Generate cuisine -> evolve all four models -> NM loses (Fig. 4)."""
     kitchen = WorldKitchen(lexicon, seed=17)
     dataset = kitchen.generate_dataset(region_codes=("CBN",), scale=0.12)
@@ -70,7 +70,7 @@ def test_full_model_comparison_pipeline(lexicon):
     distances = {}
     for name in PAPER_MODELS:
         ensemble = run_ensemble(
-            create_model(name), spec, n_runs=4, seed=23
+            create_model(name), spec, n_runs=ensemble_runs(4), seed=23
         )
         distances[name] = curve_distance(empirical, ensemble.ingredient_curve)
 

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.errors import AliasConflictError
 from repro.lexicon.aliasing import (
-    DESCRIPTOR_WORDS,
     STOP_WORDS,
     UNIT_WORDS,
     AliasResolver,

@@ -10,7 +10,6 @@ from repro.nutrition.profiles import (
     build_nutrition_table,
 )
 from repro.nutrition.scoring import (
-    health_score,
     ingredient_health_scores,
     nutrition_fitness,
 )

@@ -1,0 +1,23 @@
+"""Fixtures for the runtime tests: a tiny, fast cuisine spec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lexicon.categories import Category
+from repro.models.params import CuisineSpec
+
+_CATEGORIES = (Category.VEGETABLE, Category.SPICE, Category.DAIRY)
+
+
+@pytest.fixture(scope="session")
+def tiny_spec() -> CuisineSpec:
+    """A 30-ingredient, 40-recipe cuisine — milliseconds per run."""
+    return CuisineSpec(
+        region_code="TST",
+        ingredient_ids=tuple(range(30)),
+        categories=tuple(_CATEGORIES[i % 3] for i in range(30)),
+        avg_recipe_size=4.0,
+        n_recipes=40,
+        phi=0.6,
+    )
