@@ -7,10 +7,15 @@ Subcommands::
     repro experiment  — run a paper experiment and print its report
     repro evolve      — run one evolution model on one cuisine
     repro resolve     — resolve raw ingredient mentions via the lexicon
+    repro report      — run every experiment, write a markdown report
+    repro sweep       — execute the model×cuisine run grid in one
+                        sharded pass (and warm the run cache)
+    repro cache       — inspect (`stats`) or empty (`clear`) a run-cache
+                        directory
 
 Every stochastic command accepts ``--seed`` for exact reproducibility.
 Commands that execute model ensembles (``experiment``, ``evolve``,
-``report``) also accept ``--backend {serial,thread,process}``,
+``report``, ``sweep``) also accept ``--backend {serial,thread,process}``,
 ``--jobs N`` (0 = all cores) and ``--cache-dir PATH`` — results are
 bit-identical across backends for a fixed seed, and the run cache lets
 repeated invocations reuse completed runs.
@@ -32,9 +37,20 @@ from repro.experiments.registry import available_experiments, run_experiment
 from repro.lexicon.builder import standard_lexicon
 from repro.models.ensemble import run_ensemble
 from repro.models.params import CuisineSpec
-from repro.models.registry import available_models, create_model
+from repro.models.registry import (
+    PAPER_MODELS,
+    available_models,
+    create_model,
+)
 from repro.rng import DEFAULT_SEED
-from repro.runtime import BACKENDS, RuntimeConfig
+from repro.runtime import (
+    BACKENDS,
+    RunCache,
+    RuntimeConfig,
+    execute_sweep,
+    plan_grid,
+    select_regions,
+)
 from repro.synthesis.worldgen import WorldKitchen
 from repro.viz.ascii import render_table
 
@@ -123,6 +139,39 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--regions", nargs="*", default=None)
     report.add_argument("--no-ablations", action="store_true")
     _add_runtime_flags(report)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="execute the model x cuisine run grid in one sharded pass",
+        description=(
+            "Plan the full (model x cuisine x seed) grid, shard every run "
+            "across the chosen backend in a single pass, and print a "
+            "per-model summary.  With --cache-dir the completed runs warm "
+            "the on-disk cache, so a later `repro experiment fig4` or "
+            "`repro report` with the same --scale/--seed/--runs reuses "
+            "them for free."
+        ),
+    )
+    sweep.add_argument(
+        "--models", nargs="*", choices=list(available_models()), default=None,
+        help="models to sweep (default: the paper's four)",
+    )
+    sweep.add_argument("--regions", nargs="*", default=None,
+                       help="region codes (default all 25)")
+    sweep.add_argument("--scale", type=float, default=0.08)
+    sweep.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    sweep.add_argument("--runs", type=int, default=8,
+                       help="model runs per (model, cuisine) cell")
+    _add_runtime_flags(sweep)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear an on-disk run cache"
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "directory", type=Path, nargs="?", default=Path(".repro-cache"),
+        help="cache directory (default: .repro-cache)",
+    )
     return parser
 
 
@@ -244,6 +293,121 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    model_names = tuple(args.models) if args.models else PAPER_MODELS
+    runtime = _runtime_from_args(args)
+    requested = tuple(args.regions) if args.regions else None
+    if requested is not None:
+        # Typos surface during corpus generation below; duplicates must
+        # fail here — they would silently inflate the duplicated
+        # cuisine's corpus before any grid work.
+        select_regions(requested, requested)
+    context = ExperimentContext.create(
+        scale=args.scale,
+        seed=args.seed,
+        region_codes=requested,
+        ensemble_runs=args.runs,
+        runtime=runtime,
+    )
+    # Plan in corpus order (sorted), NOT the command-line order: it is
+    # the order run_fig4/build_report walk the grid, so the per-cell
+    # seed draws — and therefore the cache keys — line up and a sweep
+    # pre-warms those experiments regardless of how --regions was typed.
+    codes = select_regions(context.dataset.region_codes())
+    specs = [
+        CuisineSpec.from_view(context.dataset.cuisine(code), context.lexicon)
+        for code in codes
+    ]
+    plan = plan_grid(
+        [create_model(name) for name in model_names],
+        specs,
+        n_runs=args.runs,
+        seed=args.seed,
+    )
+    result = execute_sweep(plan, runtime=runtime)
+
+    rows = []
+    for name in model_names:
+        cells = [c for c in result.cells if c.model_name == name]
+        runs = sum(len(c.runs) for c in cells)
+        cached = sum(c.cached for c in cells)
+        rows.append((name, len(cells), runs, cached, runs - cached))
+    rows.append((
+        "total", len(result.cells), result.total_runs, result.cached,
+        result.executed,
+    ))
+    throughput = (
+        result.total_runs / result.elapsed_seconds
+        if result.elapsed_seconds > 0
+        else float("inf")
+    )
+    print(render_table(
+        ("Model", "Cuisines", "Runs", "Cached", "Executed"),
+        rows,
+        title=(
+            f"Sweep: {len(codes)} cuisines x {len(model_names)} models x "
+            f"{args.runs} runs = {result.total_runs} total; "
+            f"backend={result.backend}, jobs={result.jobs}; "
+            f"{result.elapsed_seconds:.1f}s ({throughput:.1f} runs/s)"
+        ),
+    ))
+    if runtime.cache_dir is not None:
+        print(
+            f"cache {runtime.cache_dir}: "
+            f"{len(RunCache(runtime.cache_dir))} entries"
+        )
+    return 0
+
+
+def _format_bytes(size: int) -> str:
+    value = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.1f} GiB"  # pragma: no cover - loop always returns
+
+
+def _format_age(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 172800:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import time
+
+    directory = args.directory
+    if not directory.exists():
+        if args.action == "clear":
+            print(f"cache {directory}: nothing to clear")
+        else:
+            print(f"cache {directory}: no cache directory")
+        return 0
+    cache = RunCache(directory)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached runs from {directory}")
+        return 0
+    stats = cache.disk_stats()
+    now = time.time()
+    rows: list[tuple[str, str]] = [
+        ("entries", str(stats.entries)),
+        ("total size", _format_bytes(stats.total_bytes)),
+    ]
+    if stats.oldest_mtime is not None and stats.newest_mtime is not None:
+        rows.append(("oldest entry", f"{_format_age(now - stats.oldest_mtime)} ago"))
+        rows.append(("newest entry", f"{_format_age(now - stats.newest_mtime)} ago"))
+    print(render_table(
+        ("Quantity", "Value"), rows, title=f"Run cache {directory}"
+    ))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -251,6 +415,8 @@ _COMMANDS = {
     "evolve": _cmd_evolve,
     "resolve": _cmd_resolve,
     "report": _cmd_report,
+    "sweep": _cmd_sweep,
+    "cache": _cmd_cache,
 }
 
 

@@ -23,10 +23,10 @@ from repro.analysis.mae import curve_distance
 from repro.analysis.model_eval import evaluate_models
 from repro.config import MiningConfig
 from repro.experiments.base import ExperimentContext
-from repro.models.ensemble import run_ensemble
+from repro.models.ensemble import ensemble_curve
 from repro.models.params import CuisineSpec, ModelParams
 from repro.models.registry import PAPER_MODELS, create_model
-from repro.rng import ensure_rng
+from repro.runtime import execute_sweep, plan_grid
 from repro.viz.ascii import render_table
 
 __all__ = [
@@ -78,6 +78,12 @@ class AblationResult:
         return [row[index] for row in self.rows]
 
 
+def _spec_for(context: ExperimentContext, code: str) -> CuisineSpec:
+    return CuisineSpec.from_view(
+        context.dataset.cuisine(code), context.lexicon
+    )
+
+
 def _mean_model_distance(
     context: ExperimentContext,
     model_name: str,
@@ -85,22 +91,28 @@ def _mean_model_distance(
     region_codes: tuple[str, ...],
     mining: MiningConfig | None = None,
 ) -> float:
-    """Mean Eq. 2 distance of one configured model across cuisines."""
+    """Mean Eq. 2 distance of one configured model across cuisines.
+
+    The per-cuisine ensembles execute as one sharded sweep, planned in
+    cuisine order so the seed draws replay the serial per-cell path.
+    """
     mining = mining if mining is not None else context.mining
-    root = ensure_rng(context.seed)
+    plan = plan_grid(
+        [create_model(model_name, params=params)],
+        [_spec_for(context, code) for code in region_codes],
+        n_runs=context.ensemble_runs,
+        seed=context.seed,
+    )
+    sweep = execute_sweep(plan, runtime=context.runtime)
     distances = []
     for code in region_codes:
-        view = context.dataset.cuisine(code)
-        spec = CuisineSpec.from_view(view, context.lexicon)
         empirical, _mining_result = combination_curve(
             context.dataset, code, context.lexicon, mining=mining
         )
-        model = create_model(model_name, params=params)
-        result = run_ensemble(
-            model, spec, n_runs=context.ensemble_runs, seed=root,
-            mining=mining, runtime=context.runtime,
+        curve = ensemble_curve(
+            sweep.runs_for(model_name, code), model_name, mining=mining
         )
-        distances.append(curve_distance(empirical, result.ingredient_curve))
+        distances.append(curve_distance(empirical, curve))
     return float(np.mean(distances))
 
 
@@ -196,30 +208,33 @@ def run_ablation_null_sampling(
     """
     from repro.models.null_model import NullModel
 
-    root = ensure_rng(context.seed)
+    # Two of the three grid columns share the registry name "NM", so the
+    # merged cells are addressed positionally: cuisine-major plan order
+    # puts cuisine i's columns at cells[3 * i + column].
+    models = [
+        create_model("CM-R"),
+        NullModel(sample_from="pool"),
+        NullModel(sample_from="universe"),
+    ]
+    plan = plan_grid(
+        models,
+        [_spec_for(context, code) for code in region_codes],
+        n_runs=context.ensemble_runs,
+        seed=context.seed,
+    )
+    sweep = execute_sweep(plan, runtime=context.runtime)
     rows = []
-    for code in region_codes:
-        view = context.dataset.cuisine(code)
-        spec = CuisineSpec.from_view(view, context.lexicon)
+    for cuisine_index, code in enumerate(region_codes):
         empirical, _mining_result = combination_curve(
             context.dataset, code, context.lexicon, mining=context.mining
         )
-        cm = create_model("CM-R")
-        cm_result = run_ensemble(
-            cm, spec, n_runs=context.ensemble_runs, seed=root,
-            mining=context.mining, runtime=context.runtime,
-        )
-        cm_distance = curve_distance(empirical, cm_result.ingredient_curve)
-        row: list[object] = [code, f"{cm_distance:.4f}"]
-        for sample_from in ("pool", "universe"):
-            nm = NullModel(sample_from=sample_from)
-            nm_result = run_ensemble(
-                nm, spec, n_runs=context.ensemble_runs, seed=root,
-                mining=context.mining, runtime=context.runtime,
+        row: list[object] = [code]
+        for column, model in enumerate(models):
+            cell = sweep.cells[len(models) * cuisine_index + column]
+            curve = ensemble_curve(
+                cell.runs, model.name, mining=context.mining
             )
-            row.append(
-                f"{curve_distance(empirical, nm_result.ingredient_curve):.4f}"
-            )
+            row.append(f"{curve_distance(empirical, curve):.4f}")
         rows.append(tuple(row))
     return AblationResult(
         name="ablation_null_sampling",
@@ -239,22 +254,24 @@ def run_ablation_metric(
     NM-vs-best-CM separation — the paper's conclusions should be
     invariant (NM always loses; best model unchanged or tied).
     """
-    root = ensure_rng(context.seed)
+    plan = plan_grid(
+        [create_model(name) for name in PAPER_MODELS],
+        [_spec_for(context, code) for code in region_codes],
+        n_runs=context.ensemble_runs,
+        seed=context.seed,
+    )
+    sweep = execute_sweep(plan, runtime=context.runtime)
     rows = []
     for code in region_codes:
-        view = context.dataset.cuisine(code)
-        spec = CuisineSpec.from_view(view, context.lexicon)
         empirical, _mining_result = combination_curve(
             context.dataset, code, context.lexicon, mining=context.mining
         )
-        model_curves = {}
-        for name in PAPER_MODELS:
-            model = create_model(name)
-            result = run_ensemble(
-                model, spec, n_runs=context.ensemble_runs, seed=root,
-                mining=context.mining, runtime=context.runtime,
+        model_curves = {
+            name: ensemble_curve(
+                sweep.runs_for(name, code), name, mining=context.mining
             )
-            model_curves[name] = result.ingredient_curve
+            for name in PAPER_MODELS
+        }
         by_kind = {}
         for kind in ("absolute", "squared"):
             evaluation = evaluate_models(

@@ -24,6 +24,7 @@ from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.table1 import run_table1
+from repro.runtime import select_regions
 
 __all__ = ["ReproductionReport", "build_report"]
 
@@ -56,6 +57,13 @@ def build_report(
 ) -> ReproductionReport:
     """Run every experiment and assemble the reproduction report.
 
+    The ensemble-bound sections (Fig. 4, the metric ablation) plan
+    their full model×cuisine grids through :mod:`repro.runtime.sweep`,
+    so with a parallel ``context.runtime`` the whole report saturates
+    the backend instead of draining one ensemble at a time — and with a
+    ``cache_dir`` a ``repro sweep`` pre-warm makes the report's model
+    runs free.
+
     Args:
         context: Shared experiment context.
         include_ablations: Also run the (slower) ablation sweeps.
@@ -65,6 +73,13 @@ def build_report(
     Returns:
         A :class:`ReproductionReport`.
     """
+    # Validate the requested model-comparison grid before hours of
+    # upstream experiments run against a typo.
+    fig4_regions = (
+        select_regions(context.dataset.region_codes(), fig4_regions)
+        if fig4_regions is not None
+        else None
+    )
     start = time.time()
     out = io.StringIO()
     headline: dict = {"scale": context.scale, "seed": context.seed}

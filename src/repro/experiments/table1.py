@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from repro.analysis.overrepresentation import top_overrepresented
 from repro.corpus.regions import get_region
 from repro.experiments.base import ExperimentContext
-from repro.runtime import parallel_map
+from repro.runtime import parallel_map, select_regions
 from repro.viz.ascii import render_table
 from repro.viz.export import write_csv
 
@@ -101,8 +101,18 @@ class Table1Result:
         }
 
 
-def run_table1(context: ExperimentContext, k: int = 5) -> Table1Result:
-    """Regenerate Table I from the context's corpus."""
+def run_table1(
+    context: ExperimentContext,
+    k: int = 5,
+    region_codes: tuple[str, ...] | None = None,
+) -> Table1Result:
+    """Regenerate Table I from the context's corpus.
+
+    The cuisine grid is resolved through the sweep API
+    (:func:`repro.runtime.select_regions`) — same selection and
+    validation semantics as the model-grid experiments — and the rows
+    fan out across the context's runtime backend.
+    """
 
     def row_for(code: str) -> Table1Row:
         region = get_region(code)
@@ -120,9 +130,8 @@ def run_table1(context: ExperimentContext, k: int = 5) -> Table1Result:
             overlap=len(set(names) & set(region.overrepresented)),
         )
 
-    rows = parallel_map(
-        row_for, context.dataset.region_codes(), runtime=context.runtime
-    )
+    codes = select_regions(context.dataset.region_codes(), region_codes)
+    rows = parallel_map(row_for, codes, runtime=context.runtime)
     result = Table1Result(rows=tuple(rows), scale=context.scale)
     path = context.artifact_path("table1.csv")
     if path is not None:

@@ -10,7 +10,12 @@ from repro.models.copy_mutate import (
     CopyMutateMixture,
     CopyMutateRandom,
 )
-from repro.models.ensemble import EnsembleResult, ensemble_curve, run_ensemble
+from repro.models.ensemble import (
+    EnsembleResult,
+    aggregate_ensemble,
+    ensemble_curve,
+    run_ensemble,
+)
 from repro.models.fitness import (
     FitnessStrategy,
     RankBiasedFitness,
@@ -36,6 +41,7 @@ __all__ = [
     "CopyMutateMixture",
     "CopyMutateRandom",
     "EnsembleResult",
+    "aggregate_ensemble",
     "ensemble_curve",
     "run_ensemble",
     "FitnessStrategy",

@@ -27,7 +27,12 @@ from repro.models.params import CuisineSpec
 from repro.rng import SeedLike, ensure_rng, spawn_seeds
 from repro.runtime import RuntimeConfig, execute_runs
 
-__all__ = ["EnsembleResult", "run_ensemble", "ensemble_curve"]
+__all__ = [
+    "EnsembleResult",
+    "aggregate_ensemble",
+    "ensemble_curve",
+    "run_ensemble",
+]
 
 
 @dataclass(frozen=True)
@@ -93,6 +98,41 @@ def ensemble_curve(
     return average_curves(curves, label)
 
 
+def aggregate_ensemble(
+    model_name: str,
+    region_code: str,
+    runs: tuple[EvolutionRun, ...] | list[EvolutionRun],
+    mining: MiningConfig = DEFAULT_MINING,
+    lexicon: Lexicon | None = None,
+    include_category_level: bool = False,
+) -> EnsembleResult:
+    """Aggregate completed runs into an :class:`EnsembleResult`.
+
+    This is the mining/averaging half of :func:`run_ensemble`, split out
+    so callers that already hold the runs — a grid sweep merging
+    :class:`~repro.runtime.sweep.SweepResult` cells, a cache replay —
+    produce byte-identical ensembles to the run-and-aggregate path.
+    """
+    if not runs:
+        raise ModelError("cannot aggregate an ensemble of zero runs")
+    runs = tuple(runs)
+    ingredient_curve = ensemble_curve(
+        runs, model_name, mining=mining, level="ingredient"
+    )
+    category_curve = None
+    if include_category_level:
+        category_curve = ensemble_curve(
+            runs, model_name, mining=mining, level="category", lexicon=lexicon
+        )
+    return EnsembleResult(
+        model_name=model_name,
+        region_code=region_code,
+        runs=runs,
+        ingredient_curve=ingredient_curve,
+        category_curve=category_curve,
+    )
+
+
 def run_ensemble(
     model: CulinaryEvolutionModel,
     spec: CuisineSpec,
@@ -127,18 +167,11 @@ def run_ensemble(
     runs = tuple(
         execute_runs(model, spec, spawn_seeds(root, n_runs), runtime=runtime)
     )
-    ingredient_curve = ensemble_curve(
-        runs, model.name, mining=mining, level="ingredient"
-    )
-    category_curve = None
-    if include_category_level:
-        category_curve = ensemble_curve(
-            runs, model.name, mining=mining, level="category", lexicon=lexicon
-        )
-    return EnsembleResult(
-        model_name=model.name,
-        region_code=spec.region_code,
-        runs=runs,
-        ingredient_curve=ingredient_curve,
-        category_curve=category_curve,
+    return aggregate_ensemble(
+        model.name,
+        spec.region_code,
+        runs,
+        mining=mining,
+        lexicon=lexicon,
+        include_category_level=include_category_level,
     )

@@ -14,7 +14,11 @@ swappable concern:
   :func:`parallel_map` for per-cuisine fan-out inside experiments;
 * :mod:`~repro.runtime.cache` — an on-disk run cache keyed by
   ``(model, params, cuisine, seed)`` shared across backends and
-  invocations.
+  invocations;
+* :mod:`~repro.runtime.sweep` — the grid sweep planner: expand a full
+  (model × cuisine × seed) grid into one flat request list, shard it
+  across the backend in a single pass, and merge results back into
+  per-cell ensembles (:func:`plan_grid` / :func:`execute_sweep`).
 
 The determinism contract: for a fixed master seed, every backend
 produces **bit-identical** :class:`~repro.models.base.EvolutionRun`
@@ -24,6 +28,7 @@ worker reconstructs its generator from the integer seed alone.
 
 from repro.runtime.cache import (
     CACHE_FORMAT_VERSION,
+    CacheDiskStats,
     CacheStats,
     RunCache,
     fingerprint_many,
@@ -43,22 +48,41 @@ from repro.runtime.runner import (
     execute_runs,
     parallel_map,
 )
+from repro.runtime.sweep import (
+    CellRuns,
+    SweepCell,
+    SweepPlan,
+    SweepResult,
+    execute_sweep,
+    plan_cells,
+    plan_grid,
+    select_regions,
+)
 
 __all__ = [
     "BACKENDS",
     "CACHE_FORMAT_VERSION",
+    "CacheDiskStats",
     "CacheStats",
+    "CellRuns",
     "Executor",
     "ProcessExecutor",
     "RunCache",
     "RunRequest",
     "RuntimeConfig",
     "SerialExecutor",
+    "SweepCell",
+    "SweepPlan",
+    "SweepResult",
     "ThreadExecutor",
     "execute_request",
     "execute_runs",
+    "execute_sweep",
     "fingerprint_many",
     "get_executor",
     "parallel_map",
+    "plan_cells",
+    "plan_grid",
     "run_fingerprint",
+    "select_regions",
 ]

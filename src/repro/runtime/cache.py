@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
+    "CacheDiskStats",
     "CacheStats",
     "RunCache",
     "fingerprint_many",
@@ -149,6 +150,24 @@ def run_fingerprint(
     return fingerprint_many(model, spec, [seed], record_history)[0]
 
 
+@dataclass(frozen=True)
+class CacheDiskStats:
+    """What one cache directory holds on disk right now.
+
+    Attributes:
+        entries: Number of cached runs.
+        total_bytes: Their combined size.
+        oldest_mtime: Epoch mtime of the oldest entry (``None`` when
+            empty).
+        newest_mtime: Epoch mtime of the newest entry.
+    """
+
+    entries: int
+    total_bytes: int
+    oldest_mtime: float | None = None
+    newest_mtime: float | None = None
+
+
 @dataclass
 class CacheStats:
     """Hit/miss/store counters for one :class:`RunCache` instance."""
@@ -231,6 +250,34 @@ class RunCache:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.run.pkl"))
+
+    def disk_stats(self) -> CacheDiskStats:
+        """Entry count, byte total and age bounds of the directory.
+
+        Entries that vanish mid-scan (a concurrent ``clear``) are
+        skipped rather than raised — stats are advisory.
+        """
+        entries = 0
+        total_bytes = 0
+        oldest: float | None = None
+        newest: float | None = None
+        for path in self.directory.glob("*.run.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries += 1
+            total_bytes += stat.st_size
+            if oldest is None or stat.st_mtime < oldest:
+                oldest = stat.st_mtime
+            if newest is None or stat.st_mtime > newest:
+                newest = stat.st_mtime
+        return CacheDiskStats(
+            entries=entries,
+            total_bytes=total_bytes,
+            oldest_mtime=oldest,
+            newest_mtime=newest,
+        )
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

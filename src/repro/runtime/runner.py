@@ -68,6 +68,64 @@ def execute_request(request: RunRequest) -> "EvolutionRun":
     )
 
 
+def dispatch_requests(
+    requests: Sequence[RunRequest],
+    keys: Sequence[str] | None,
+    config: RuntimeConfig,
+    cache: RunCache | None,
+) -> tuple[list["EvolutionRun"], list[int]]:
+    """Serve requests from cache, dispatch the misses, write fresh runs back.
+
+    The shared core of :func:`execute_runs` and
+    :func:`~repro.runtime.sweep.execute_sweep` — one place owns the
+    cache policy: lookups happen up front, only misses reach the
+    backend (in request order, so order-preserving executors keep the
+    result list aligned with ``requests``), and a cache *write* failure
+    disables further writes rather than discarding computed results.
+
+    Args:
+        requests: The work items, in result order.
+        keys: Cache key per request (aligned), or ``None`` to skip the
+            cache entirely.
+        config: Backend/jobs selection.
+        cache: Cache instance; ``None`` disables lookups and writes.
+
+    Returns:
+        ``(results, dispatched)``: results aligned with ``requests``,
+        plus the indices that were executed rather than served from
+        cache.
+    """
+    results: list["EvolutionRun | None"] = [None] * len(requests)
+    pending: list[int] = []
+    if cache is not None and keys is not None:
+        for index, key in enumerate(keys):
+            cached = cache.get(key)
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+    else:
+        pending = list(range(len(requests)))
+
+    if pending:
+        executor = get_executor(config)
+        computed = executor.map(
+            execute_request, [requests[index] for index in pending]
+        )
+        for index, run in zip(pending, computed):
+            results[index] = run
+            if cache is not None and keys is not None:
+                # The cache is an optimization: a write failure
+                # (disk full, permissions, unpicklable payload) must
+                # never discard computed results.  Stop writing after
+                # the first failure; lookups already succeeded.
+                try:
+                    cache.put(keys[index], run)
+                except RunCacheError:
+                    cache = None
+    return results, pending  # type: ignore[return-value]
+
+
 def execute_runs(
     model: "CulinaryEvolutionModel",
     spec: "CuisineSpec",
@@ -103,10 +161,7 @@ def execute_runs(
                    record_history=record_history)
         for seed in seeds
     ]
-
-    results: list["EvolutionRun | None"] = [None] * len(requests)
-    pending: list[int] = []
-    keys: list[str] = []
+    keys = None
     if cache is not None:
         # One canonicalization for the whole batch — only the seed
         # varies between requests.
@@ -114,32 +169,8 @@ def execute_runs(
             model, spec, [request.seed for request in requests],
             record_history,
         )
-        for index, key in enumerate(keys):
-            cached = cache.get(key)
-            if cached is not None:
-                results[index] = cached
-            else:
-                pending.append(index)
-    else:
-        pending = list(range(len(requests)))
-
-    if pending:
-        executor = get_executor(config)
-        computed = executor.map(
-            execute_request, [requests[index] for index in pending]
-        )
-        for index, run in zip(pending, computed):
-            results[index] = run
-            if cache is not None:
-                # The cache is an optimization: a write failure
-                # (disk full, permissions, unpicklable payload) must
-                # never discard computed results.  Stop writing after
-                # the first failure; lookups already succeeded.
-                try:
-                    cache.put(keys[index], run)
-                except RunCacheError:
-                    cache = None
-    return results  # type: ignore[return-value]
+    results, _dispatched = dispatch_requests(requests, keys, config, cache)
+    return results
 
 
 def parallel_map(

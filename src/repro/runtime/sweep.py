@@ -1,0 +1,378 @@
+"""Sharded sweeps over the full (model × cuisine × seed) run grid.
+
+:func:`~repro.runtime.runner.execute_runs` parallelizes *within* one
+(model, cuisine) ensemble; experiment drivers that walk a grid of cells
+serially therefore leave most cores idle between cells — a 25-cell wait
+on the slowest ensemble, repeated 25 times.  The sweep planner removes
+that barrier:
+
+1. **plan** — expand an ordered grid of (model, cuisine) cells into
+   per-cell seed streams, drawing every seed up front from one root
+   generator (:func:`plan_cells` / :func:`plan_grid`);
+2. **shard** — flatten all cells into one list of
+   :class:`~repro.runtime.runner.RunRequest`s and push it through a
+   *single* executor map, so workers drain the whole grid instead of one
+   ensemble at a time (:func:`execute_sweep`);
+3. **merge** — slice the order-preserved results back into per-cell run
+   tuples (:class:`CellRuns` inside :class:`SweepResult`).
+
+Determinism: the planner draws seeds cell by cell, in cell order, from
+the root generator — exactly the draws a serial loop of per-cell
+``run_ensemble``/``execute_runs`` calls makes.  Since each run is a pure
+function of ``(model, spec, seed)`` and executors preserve order, a
+sharded sweep is bit-identical to the per-cell path for a fixed master
+seed, on every backend (see DESIGN.md §5).
+
+The on-disk run cache is consulted per request, so a warm cell costs
+zero worker time and a sweep interrupted halfway resumes where it
+stopped.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import ExecutionError
+from repro.rng import SeedLike, ensure_rng, spawn_seeds
+from repro.runtime.cache import RunCache, fingerprint_many
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.runner import RunRequest, dispatch_requests
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.models.base import CulinaryEvolutionModel, EvolutionRun
+    from repro.models.params import CuisineSpec
+
+__all__ = [
+    "CellRuns",
+    "SweepCell",
+    "SweepPlan",
+    "SweepResult",
+    "execute_sweep",
+    "plan_cells",
+    "plan_grid",
+    "select_regions",
+]
+
+
+def select_regions(
+    available: Sequence[str], requested: Sequence[str] | None = None
+) -> tuple[str, ...]:
+    """Resolve a sweep's cuisine selection against a corpus.
+
+    ``None`` selects every available cuisine, in corpus order; an
+    explicit request keeps *its* order (it defines the seed-draw order
+    of the plan) and is validated eagerly so typos fail before any
+    corpus generation or model work.
+
+    Raises:
+        ExecutionError: If a requested code is not in ``available``, or
+            appears more than once (a duplicate would plan two
+            identical grid cells, making the merged result ambiguous).
+    """
+    if requested is None:
+        return tuple(available)
+    known = set(available)
+    unknown = [code for code in requested if code not in known]
+    if unknown:
+        raise ExecutionError(
+            f"unknown region codes {unknown} for this corpus; "
+            f"available: {tuple(available)}"
+        )
+    if len(set(requested)) != len(tuple(requested)):
+        duplicates = sorted(
+            {code for code in requested if list(requested).count(code) > 1}
+        )
+        raise ExecutionError(f"duplicate region codes requested: {duplicates}")
+    return tuple(requested)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (model, cuisine) cell of a planned sweep.
+
+    Attributes:
+        model: The configured evolution model for this cell.
+        spec: Cuisine inputs.
+        seeds: The cell's per-run integer seeds, already drawn by the
+            planner (order defines run order within the cell).
+    """
+
+    model: "CulinaryEvolutionModel"
+    spec: "CuisineSpec"
+    seeds: tuple[int, ...]
+
+    @property
+    def model_name(self) -> str:
+        return self.model.name
+
+    @property
+    def region_code(self) -> str:
+        return self.spec.region_code
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.seeds)
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """An ordered grid of cells with all per-run seeds pre-drawn.
+
+    Attributes:
+        cells: Cells in plan order — the order their seeds were drawn
+            from the root generator, and the order results come back.
+        record_history: Forwarded to every run.
+    """
+
+    cells: tuple[SweepCell, ...]
+    record_history: bool = False
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def total_runs(self) -> int:
+        return sum(cell.n_runs for cell in self.cells)
+
+    def requests(self) -> list[RunRequest]:
+        """The flat, cell-major work list this plan shards."""
+        return [
+            RunRequest(
+                model=cell.model,
+                spec=cell.spec,
+                seed=seed,
+                record_history=self.record_history,
+            )
+            for cell in self.cells
+            for seed in cell.seeds
+        ]
+
+
+def plan_cells(
+    cells: Iterable[tuple["CulinaryEvolutionModel", "CuisineSpec"]],
+    n_runs: int,
+    seed: SeedLike = None,
+    record_history: bool = False,
+) -> SweepPlan:
+    """Draw per-run seeds for an ordered sequence of (model, spec) cells.
+
+    Seeds are drawn cell by cell, in the given order, from one root
+    generator — the exact draws a serial loop of per-cell
+    :func:`~repro.models.ensemble.run_ensemble` calls over the same
+    order makes, which is what keeps a sharded sweep bit-identical to
+    the per-cell path.
+
+    Args:
+        cells: (model, spec) pairs in seed-draw order.
+        n_runs: Runs per cell (paper: 100).
+        seed: Root seed or generator; a passed generator is advanced
+            exactly as the per-cell path would advance it.
+        record_history: Forwarded to every run.
+
+    Raises:
+        ExecutionError: If ``n_runs < 1``.
+    """
+    if n_runs < 1:
+        raise ExecutionError(f"n_runs must be >= 1, got {n_runs}")
+    root = ensure_rng(seed)
+    return SweepPlan(
+        cells=tuple(
+            SweepCell(
+                model=model, spec=spec,
+                seeds=tuple(spawn_seeds(root, n_runs)),
+            )
+            for model, spec in cells
+        ),
+        record_history=record_history,
+    )
+
+
+def plan_grid(
+    models: Sequence["CulinaryEvolutionModel"],
+    specs: Sequence["CuisineSpec"],
+    n_runs: int,
+    seed: SeedLike = None,
+    record_history: bool = False,
+) -> SweepPlan:
+    """Plan the full cuisine-major (model × cuisine) grid.
+
+    Cells are expanded cuisine-outer, model-inner — the nested-loop
+    order of the experiment drivers (``for cuisine: for model:``) — so
+    the plan's seed draws replay the drivers' serial draws exactly.
+
+    Args:
+        models: Model instances, one per grid column.
+        specs: Cuisine specs, one per grid row.
+        n_runs: Runs per (model, cuisine) cell.
+        seed: Root seed or generator.
+        record_history: Forwarded to every run.
+
+    Raises:
+        ExecutionError: On an empty model or cuisine axis.
+    """
+    if not models or not specs:
+        raise ExecutionError(
+            f"sweep grid needs at least one model and one cuisine, got "
+            f"{len(models)} models x {len(specs)} cuisines"
+        )
+    return plan_cells(
+        ((model, spec) for spec in specs for model in models),
+        n_runs=n_runs,
+        seed=seed,
+        record_history=record_history,
+    )
+
+
+@dataclass(frozen=True)
+class CellRuns:
+    """One cell's merged results.
+
+    Attributes:
+        cell: The planned cell.
+        runs: Completed runs aligned with ``cell.seeds``.
+        cached: How many of the cell's runs were served from the cache.
+    """
+
+    cell: SweepCell
+    runs: tuple["EvolutionRun", ...]
+    cached: int = 0
+
+    @property
+    def model_name(self) -> str:
+        return self.cell.model_name
+
+    @property
+    def region_code(self) -> str:
+        return self.cell.region_code
+
+    @property
+    def executed(self) -> int:
+        return len(self.runs) - self.cached
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Merged results and execution stats of one sharded sweep.
+
+    Attributes:
+        cells: Per-cell results, in plan order.
+        executed: Runs dispatched to the backend.
+        cached: Runs served from the on-disk cache.
+        elapsed_seconds: Wall time of the whole sweep (lookups included).
+        backend: Backend name the sweep ran on.
+        jobs: Effective worker count.
+    """
+
+    cells: tuple[CellRuns, ...]
+    executed: int
+    cached: int
+    elapsed_seconds: float
+    backend: str
+    jobs: int
+
+    @property
+    def total_runs(self) -> int:
+        return self.executed + self.cached
+
+    def runs_for(
+        self, model_name: str, region_code: str
+    ) -> tuple["EvolutionRun", ...]:
+        """The runs of the unique cell matching (model name, cuisine).
+
+        Raises:
+            ExecutionError: If no cell matches, or several do (two cells
+                may share a registry name — e.g. two ``NM`` configs in a
+                sampling ablation; address those positionally via
+                ``cells`` instead).
+        """
+        matches = [
+            cell_runs
+            for cell_runs in self.cells
+            if cell_runs.model_name == model_name
+            and cell_runs.region_code == region_code
+        ]
+        if not matches:
+            raise ExecutionError(
+                f"no sweep cell for model {model_name!r} on "
+                f"region {region_code!r}"
+            )
+        if len(matches) > 1:
+            raise ExecutionError(
+                f"{len(matches)} sweep cells match model {model_name!r} on "
+                f"region {region_code!r}; access result.cells positionally"
+            )
+        return matches[0].runs
+
+
+def execute_sweep(
+    plan: SweepPlan,
+    runtime: RuntimeConfig | None = None,
+    cache: RunCache | None = None,
+) -> SweepResult:
+    """Execute a planned sweep as one sharded pass over the backend.
+
+    Every cell's requests are flattened into a single work list and
+    dispatched through one executor map, so many small cells saturate
+    the worker pool that a per-cell loop would repeatedly drain.  When a
+    cache is configured (explicitly, or via ``runtime.cache_dir``),
+    cached runs are served from disk and only the misses are dispatched;
+    fresh results are written back so later sweeps — any backend, any
+    grid slicing — reuse them.
+
+    Args:
+        plan: The planned grid (see :func:`plan_cells` / :func:`plan_grid`).
+        runtime: Backend/jobs/cache selection; ``None`` = serial.
+        cache: Explicit cache instance (overrides ``runtime.cache_dir``;
+            useful for inspecting hit/miss stats).
+
+    Returns:
+        A :class:`SweepResult` with per-cell runs in plan order.
+    """
+    config = runtime if runtime is not None else RuntimeConfig()
+    if cache is None and config.cache_dir is not None:
+        cache = RunCache(config.cache_dir)
+
+    start = time.perf_counter()
+    requests = plan.requests()
+    bounds: list[tuple[int, int]] = []
+    offset = 0
+    for cell in plan.cells:
+        bounds.append((offset, offset + cell.n_runs))
+        offset += cell.n_runs
+
+    keys = None
+    if cache is not None:
+        # One canonicalization per cell, not per run — only the seed
+        # varies within a cell.  The concatenation is request-aligned
+        # because plan.requests() is cell-major in the same cell order.
+        keys = [
+            key
+            for cell in plan.cells
+            for key in fingerprint_many(
+                cell.model, cell.spec, cell.seeds, plan.record_history
+            )
+        ]
+    results, dispatched = dispatch_requests(requests, keys, config, cache)
+
+    dispatched_set = set(dispatched)
+    cells = tuple(
+        CellRuns(
+            cell=cell,
+            runs=tuple(results[lo:hi]),
+            cached=sum(
+                1 for index in range(lo, hi) if index not in dispatched_set
+            ),
+        )
+        for cell, (lo, hi) in zip(plan.cells, bounds)
+    )
+    return SweepResult(
+        cells=cells,
+        executed=len(dispatched),
+        cached=len(requests) - len(dispatched),
+        elapsed_seconds=time.perf_counter() - start,
+        backend=config.backend,
+        jobs=config.resolve_jobs(),
+    )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import re
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -86,6 +88,80 @@ def test_report_command(tmp_path, capsys):
     assert "## Fig. 4" in text
     out = capsys.readouterr().out
     assert "fig4_null_separation" in out
+
+
+def test_sweep_command(capsys):
+    code = main([
+        "sweep", "--regions", "KOR", "JPN", "--models", "CM-R", "NM",
+        "--runs", "2", "--scale", "0.02", "--seed", "3",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Sweep: 2 cuisines x 2 models x 2 runs = 8 total" in out
+    assert "CM-R" in out and "NM" in out and "total" in out
+
+
+def test_sweep_cache_warm_second_pass(tmp_path, capsys):
+    argv = [
+        "sweep", "--regions", "KOR", "--models", "CM-R", "--runs", "2",
+        "--scale", "0.02", "--seed", "3", "--cache-dir", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert f"cache {tmp_path}: 2 entries" in cold
+
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    # Every run served from cache, none executed.
+    total_line = next(
+        line for line in warm.splitlines() if line.startswith("total")
+    )
+    assert total_line.split("|")[3].strip() == "2"  # cached
+    assert total_line.split("|")[4].strip() == "0"  # executed
+
+
+def test_sweep_rejects_unknown_model():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--models", "CM-X"])
+
+
+def test_sweep_rejects_duplicate_regions(capsys):
+    code = main([
+        "sweep", "--regions", "KOR", "KOR", "--runs", "2", "--scale", "0.02",
+    ])
+    assert code == 1
+    assert "duplicate region codes" in capsys.readouterr().err
+
+
+def test_cache_stats_missing_directory(tmp_path, capsys):
+    missing = tmp_path / "nope"
+    assert main(["cache", "stats", str(missing)]) == 0
+    assert "no cache directory" in capsys.readouterr().out
+
+
+def test_cache_stats_and_clear_roundtrip(tmp_path, capsys):
+    cache_dir = tmp_path / "runs"
+    assert main([
+        "sweep", "--regions", "KOR", "--models", "NM", "--runs", "2",
+        "--scale", "0.02", "--cache-dir", str(cache_dir),
+    ]) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "stats", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert re.search(r"entries\s*\|\s*2\b", out)
+    assert "total size" in out
+
+    assert main(["cache", "clear", str(cache_dir)]) == 0
+    assert "removed 2 cached runs" in capsys.readouterr().out
+
+    assert main(["cache", "stats", str(cache_dir)]) == 0
+    assert re.search(r"entries\s*\|\s*0\b", capsys.readouterr().out)
+
+
+def test_cache_clear_missing_directory(tmp_path, capsys):
+    assert main(["cache", "clear", str(tmp_path / "nope")]) == 0
+    assert "nothing to clear" in capsys.readouterr().out
 
 
 def test_unknown_experiment_rejected():
