@@ -1,0 +1,205 @@
+"""Bench ``algorithm1``: single-run engine throughput, reference vs vectorized.
+
+PR 1/2 parallelized *across* runs; this bench tracks the speed of one
+run — the quantity that bounds every worker core.  For each paper model
+it times the reference (scalar) and vectorized engines on the same
+cuisine spec and reports recipes/second plus the speedup, verifying the
+engines walk identical (m, n) trajectories while they race.
+
+The acceptance target is a ≥3× vectorized speedup at paper-default
+CuisineSpec sizes (``--scale 1.0``, the full Table I counts).  Results
+are written to ``BENCH_algorithm1.json`` at the repo root so the perf
+trajectory is tracked across PRs.
+
+Entry points:
+
+* pytest (CI smoke; sized by ``REPRO_BENCH_SCALE``)::
+
+      PYTHONPATH=src python -m pytest benchmarks/bench_algorithm1.py -q
+
+* standalone — the acceptance run (full scale) or the CI perf tripwire
+  (``--fast --check`` exits 1 if the vectorized engine is slower)::
+
+      PYTHONPATH=src python benchmarks/bench_algorithm1.py
+      PYTHONPATH=src python benchmarks/bench_algorithm1.py --fast --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from _results import smoke_write_enabled, write_bench_result
+from repro.lexicon.builder import standard_lexicon
+from repro.models.params import CuisineSpec
+from repro.models.registry import PAPER_MODELS, create_model
+from repro.synthesis.worldgen import WorldKitchen
+
+
+def _bench_spec(region: str, scale: float) -> CuisineSpec:
+    lexicon = standard_lexicon()
+    kitchen = WorldKitchen(lexicon, seed=20190408)
+    dataset = kitchen.generate_dataset(region_codes=(region,), scale=scale)
+    return CuisineSpec.from_view(dataset.cuisine(region), lexicon)
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_engine_matrix(
+    region: str = "ITA",
+    scale: float = 1.0,
+    repeats: int = 3,
+    model_names: tuple[str, ...] = PAPER_MODELS,
+    seed: int = 7,
+) -> dict:
+    """Time both engines on every model; returns the result table."""
+    spec = _bench_spec(region, scale)
+    rows = []
+    structure_identical = True
+    for name in model_names:
+        reference = create_model(name, engine="reference")
+        vectorized = create_model(name, engine="vectorized")
+        ref_seconds, ref_run = _best_of(
+            lambda: reference.run(spec, seed=seed), repeats
+        )
+        vec_seconds, vec_run = _best_of(
+            lambda: vectorized.run(spec, seed=seed), repeats
+        )
+        structure_identical = structure_identical and (
+            ref_run.final_pool_size == vec_run.final_pool_size
+            and ref_run.n_recipes == vec_run.n_recipes
+        )
+        rows.append(
+            {
+                "model": name,
+                "reference_seconds": ref_seconds,
+                "vectorized_seconds": vec_seconds,
+                "reference_recipes_per_second": spec.n_recipes / ref_seconds,
+                "vectorized_recipes_per_second": spec.n_recipes / vec_seconds,
+                "speedup": ref_seconds / vec_seconds,
+            }
+        )
+    speedups = [row["speedup"] for row in rows]
+    return {
+        "region": region,
+        "scale": scale,
+        "repeats": repeats,
+        "seed": seed,
+        "spec": {
+            "n_ingredients": spec.n_ingredients,
+            "n_recipes": spec.n_recipes,
+            "recipe_size": spec.recipe_size,
+            "phi": spec.phi,
+        },
+        "structure_identical": structure_identical,
+        "min_speedup": min(speedups),
+        "mean_speedup": sum(speedups) / len(speedups),
+        "rows": rows,
+    }
+
+
+def _render(result: dict) -> str:
+    spec = result["spec"]
+    lines = [
+        f"algorithm1 engines: {result['region']} @ scale {result['scale']} "
+        f"(|I|={spec['n_ingredients']}, N={spec['n_recipes']}, "
+        f"s={spec['recipe_size']}); trajectories identical: "
+        f"{result['structure_identical']}",
+        f"{'model':<8}{'ref s':>10}{'vec s':>10}{'ref r/s':>12}"
+        f"{'vec r/s':>12}{'speedup':>9}",
+    ]
+    for row in result["rows"]:
+        lines.append(
+            f"{row['model']:<8}{row['reference_seconds']:>10.3f}"
+            f"{row['vectorized_seconds']:>10.3f}"
+            f"{row['reference_recipes_per_second']:>12.0f}"
+            f"{row['vectorized_recipes_per_second']:>12.0f}"
+            f"{row['speedup']:>8.2f}x"
+        )
+    lines.append(
+        f"min speedup {result['min_speedup']:.2f}x, "
+        f"mean {result['mean_speedup']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def test_engine_throughput(benchmark):
+    """Pytest entry: small spec, both engines, trajectory + no-regression.
+
+    Sized by ``REPRO_BENCH_SCALE`` like the other benches.  Asserts the
+    vectorized engine is not slower than the reference even at smoke
+    sizes; the ≥3× acceptance claim is asserted at paper scale only
+    (standalone run).
+    """
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.04"))
+    result = benchmark.pedantic(
+        run_engine_matrix,
+        kwargs={"region": "ITA", "scale": scale, "repeats": 2},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(_render(result))
+    if smoke_write_enabled():
+        write_bench_result("algorithm1", result)
+    assert result["structure_identical"]
+    assert result["min_speedup"] >= 1.0
+    if scale >= 0.5:
+        assert result["min_speedup"] >= 3.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone engine comparison (the acceptance-criterion runner)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--region", default="ITA")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="corpus scale (default: 1.0, the paper sizes)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per engine (best-of)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="smoke sizing (scale 0.05, 1 repeat) for CI tripwires",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help=(
+            "exit 1 unless the vectorized engine beats the reference on "
+            "every model (and by >=3x at scale >= 0.5)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    scale = 0.05 if args.fast else args.scale
+    repeats = 1 if args.fast else args.repeats
+    result = run_engine_matrix(
+        region=args.region, scale=scale, repeats=repeats, seed=args.seed
+    )
+    print(_render(result))
+    # --fast is the CI tripwire; only full-size runs may replace the
+    # committed acceptance artifact.
+    if not args.fast or smoke_write_enabled():
+        write_bench_result("algorithm1", result)
+    if not result["structure_identical"]:
+        return 1
+    if args.check:
+        floor = 3.0 if scale >= 0.5 else 1.0
+        if result["min_speedup"] < floor:
+            print(
+                f"FAIL: min speedup {result['min_speedup']:.2f}x below "
+                f"{floor:.1f}x floor"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,7 @@ import argparse
 import os
 import time
 
+from _results import smoke_write_enabled, write_bench_result
 from repro.lexicon.builder import standard_lexicon
 from repro.models.params import CuisineSpec
 from repro.models.registry import create_model
@@ -119,6 +120,8 @@ def test_runtime_throughput(benchmark):
     )
     print()
     print(_render(result))
+    if smoke_write_enabled():
+        write_bench_result("runtime", result)
     assert result["bit_identical"]
     process_row = result["rows"][-1]
     assert process_row["backend"] == "process"
@@ -143,6 +146,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
     )
     print(_render(result))
+    write_bench_result("runtime", result)
     return 0 if result["bit_identical"] else 1
 
 

@@ -30,6 +30,7 @@ import argparse
 import os
 import time
 
+from _results import smoke_write_enabled, write_bench_result
 from repro.lexicon.builder import standard_lexicon
 from repro.models.params import CuisineSpec
 from repro.models.registry import PAPER_MODELS, create_model
@@ -158,6 +159,8 @@ def test_grid_sweep_throughput(benchmark):
     )
     print()
     print(_render(result))
+    if smoke_write_enabled():
+        write_bench_result("sweep", result)
     assert result["bit_identical"]
     sweep_row = result["rows"][-1]
     assert sweep_row["mode"].startswith("sharded sweep")
@@ -186,6 +189,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
     )
     print(_render(result))
+    write_bench_result("sweep", result)
     return 0 if result["bit_identical"] else 1
 
 

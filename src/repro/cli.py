@@ -10,14 +10,15 @@ Subcommands::
     repro report      — run every experiment, write a markdown report
     repro sweep       — execute the model×cuisine run grid in one
                         sharded pass (and warm the run cache)
-    repro cache       — inspect (`stats`) or empty (`clear`) a run-cache
-                        directory
+    repro cache       — inspect (`stats`), empty (`clear`), or age-out
+                        (`prune`) a run-cache directory
 
 Every stochastic command accepts ``--seed`` for exact reproducibility.
 Commands that execute model ensembles (``experiment``, ``evolve``,
 ``report``, ``sweep``) also accept ``--backend {serial,thread,process}``,
-``--jobs N`` (0 = all cores) and ``--cache-dir PATH`` — results are
-bit-identical across backends for a fixed seed, and the run cache lets
+``--jobs N`` (0 = all cores), ``--cache-dir PATH`` and ``--engine
+{reference,vectorized}`` — results are bit-identical across backends for
+a fixed seed (per engine; see DESIGN.md §5), and the run cache lets
 repeated invocations reuse completed runs.
 """
 
@@ -36,7 +37,7 @@ from repro.experiments.base import ExperimentContext
 from repro.experiments.registry import available_experiments, run_experiment
 from repro.lexicon.builder import standard_lexicon
 from repro.models.ensemble import run_ensemble
-from repro.models.params import CuisineSpec
+from repro.models.params import ENGINES, CuisineSpec
 from repro.models.registry import (
     PAPER_MODELS,
     available_models,
@@ -70,6 +71,13 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", type=Path, default=None,
         help="on-disk run cache directory (reused across invocations)",
+    )
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help=(
+            "simulation engine for model runs (default: vectorized; "
+            "'reference' runs the scalar executable-spec loop)"
+        ),
     )
 
 
@@ -165,12 +173,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runtime_flags(sweep)
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear an on-disk run cache"
+        "cache", help="inspect, clear, or age-out an on-disk run cache"
     )
-    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("action", choices=("stats", "clear", "prune"))
     cache.add_argument(
         "directory", type=Path, nargs="?", default=Path(".repro-cache"),
         help="cache directory (default: .repro-cache)",
+    )
+    cache.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="prune: remove entries older than this many days",
     )
     return parser
 
@@ -216,6 +228,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         ensemble_runs=args.runs,
         artifacts_dir=args.artifacts,
         runtime=_runtime_from_args(args),
+        engine=args.engine,
     )
     result = run_experiment(args.id, context)
     print(result.render())
@@ -230,7 +243,7 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
     )
     view = dataset.cuisine(args.region)
     spec = CuisineSpec.from_view(view, lexicon)
-    model = create_model(args.model)
+    model = create_model(args.model, engine=args.engine)
     result = run_ensemble(
         model, spec, n_runs=args.runs, seed=args.seed,
         runtime=_runtime_from_args(args),
@@ -282,6 +295,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         region_codes=tuple(args.regions) if args.regions else None,
         ensemble_runs=args.runs,
         runtime=_runtime_from_args(args),
+        engine=args.engine,
     )
     report = build_report(
         context, include_ablations=not args.no_ablations
@@ -308,6 +322,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         region_codes=requested,
         ensemble_runs=args.runs,
         runtime=runtime,
+        engine=args.engine,
     )
     # Plan in corpus order (sorted), NOT the command-line order: it is
     # the order run_fig4/build_report walk the grid, so the per-cell
@@ -319,7 +334,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for code in codes
     ]
     plan = plan_grid(
-        [create_model(name) for name in model_names],
+        [create_model(name, engine=args.engine) for name in model_names],
         specs,
         n_runs=args.runs,
         seed=args.seed,
@@ -382,9 +397,19 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     import time
 
     directory = args.directory
+    if args.action == "prune":
+        if args.max_age_days is None:
+            print(
+                "error: cache prune requires --max-age-days",
+                file=sys.stderr,
+            )
+            return 2
+        if args.max_age_days < 0:
+            print("error: --max-age-days must be >= 0", file=sys.stderr)
+            return 2
     if not directory.exists():
-        if args.action == "clear":
-            print(f"cache {directory}: nothing to clear")
+        if args.action in ("clear", "prune"):
+            print(f"cache {directory}: nothing to {args.action}")
         else:
             print(f"cache {directory}: no cache directory")
         return 0
@@ -392,6 +417,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached runs from {directory}")
+        return 0
+    if args.action == "prune":
+        removed = cache.prune_older_than(args.max_age_days * 86400.0)
+        kept = cache.disk_stats().entries
+        print(
+            f"pruned {removed} cached runs older than "
+            f"{args.max_age_days:g} days from {directory} ({kept} kept)"
+        )
         return 0
     stats = cache.disk_stats()
     now = time.time()

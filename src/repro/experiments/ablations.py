@@ -98,7 +98,7 @@ def _mean_model_distance(
     """
     mining = mining if mining is not None else context.mining
     plan = plan_grid(
-        [create_model(model_name, params=params)],
+        [create_model(model_name, params=params, engine=context.engine)],
         [_spec_for(context, code) for code in region_codes],
         n_runs=context.ensemble_runs,
         seed=context.seed,
@@ -110,7 +110,8 @@ def _mean_model_distance(
             context.dataset, code, context.lexicon, mining=mining
         )
         curve = ensemble_curve(
-            sweep.runs_for(model_name, code), model_name, mining=mining
+            sweep.runs_for(model_name, code), model_name, mining=mining,
+            runtime=context.runtime,
         )
         distances.append(curve_distance(empirical, curve))
     return float(np.mean(distances))
@@ -212,9 +213,9 @@ def run_ablation_null_sampling(
     # merged cells are addressed positionally: cuisine-major plan order
     # puts cuisine i's columns at cells[3 * i + column].
     models = [
-        create_model("CM-R"),
-        NullModel(sample_from="pool"),
-        NullModel(sample_from="universe"),
+        create_model("CM-R", engine=context.engine),
+        NullModel(sample_from="pool", engine=context.engine),
+        NullModel(sample_from="universe", engine=context.engine),
     ]
     plan = plan_grid(
         models,
@@ -232,7 +233,8 @@ def run_ablation_null_sampling(
         for column, model in enumerate(models):
             cell = sweep.cells[len(models) * cuisine_index + column]
             curve = ensemble_curve(
-                cell.runs, model.name, mining=context.mining
+                cell.runs, model.name, mining=context.mining,
+                runtime=context.runtime,
             )
             row.append(f"{curve_distance(empirical, curve):.4f}")
         rows.append(tuple(row))
@@ -255,7 +257,7 @@ def run_ablation_metric(
     invariant (NM always loses; best model unchanged or tied).
     """
     plan = plan_grid(
-        [create_model(name) for name in PAPER_MODELS],
+        [create_model(name, engine=context.engine) for name in PAPER_MODELS],
         [_spec_for(context, code) for code in region_codes],
         n_runs=context.ensemble_runs,
         seed=context.seed,
@@ -268,7 +270,8 @@ def run_ablation_metric(
         )
         model_curves = {
             name: ensemble_curve(
-                sweep.runs_for(name, code), name, mining=context.mining
+                sweep.runs_for(name, code), name, mining=context.mining,
+                runtime=context.runtime,
             )
             for name in PAPER_MODELS
         }

@@ -57,6 +57,11 @@ class ExperimentContext:
             per-cuisine fan-out (:mod:`repro.runtime`); the default is
             serial with no cache, and results are backend-independent
             for a fixed ``seed``.
+        engine: Simulation engine for every model the experiments
+            instantiate (``"reference"``/``"vectorized"``); ``None``
+            keeps each model's default (vectorized).  Part of the run
+            cache key, so switching engines never replays the other
+            engine's cached runs.
     """
 
     lexicon: Lexicon
@@ -67,6 +72,7 @@ class ExperimentContext:
     ensemble_runs: int = 10
     artifacts_dir: Path | None = None
     runtime: RuntimeConfig = RuntimeConfig()
+    engine: str | None = None
 
     @classmethod
     def create(
@@ -79,6 +85,7 @@ class ExperimentContext:
         artifacts_dir: str | Path | None = None,
         lexicon: Lexicon | None = None,
         runtime: RuntimeConfig | None = None,
+        engine: str | None = None,
     ) -> "ExperimentContext":
         """Build a context with a freshly generated corpus.
 
@@ -92,6 +99,8 @@ class ExperimentContext:
             lexicon: Override lexicon (default: the standard 721-entity
                 one).
             runtime: Execution runtime configuration (default serial).
+            engine: Simulation engine for model runs (default: each
+                model's own, i.e. vectorized).
         """
         if scale <= 0:
             raise ExperimentError(f"scale must be > 0, got {scale}")
@@ -111,6 +120,7 @@ class ExperimentContext:
             ensemble_runs=ensemble_runs,
             artifacts_dir=Path(artifacts_dir) if artifacts_dir else None,
             runtime=runtime if runtime is not None else RuntimeConfig(),
+            engine=engine,
         )
 
     def with_dataset(self, dataset: RecipeDataset) -> "ExperimentContext":

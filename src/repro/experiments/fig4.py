@@ -175,7 +175,7 @@ def run_fig4(
         for code in codes
     }
     plan = plan_grid(
-        [create_model(name) for name in model_names],
+        [create_model(name, engine=context.engine) for name in model_names],
         [specs[code] for code in codes],
         n_runs=context.ensemble_runs,
         seed=context.seed,
@@ -193,6 +193,7 @@ def run_fig4(
             model_curves[name] = ensemble_curve(
                 runs, name, mining=context.mining, level=level,
                 lexicon=context.lexicon if level == "category" else None,
+                runtime=context.runtime,
             )
         evaluations[code] = evaluate_models(
             code, empirical, model_curves, level=level

@@ -23,17 +23,29 @@ from repro.models.fitness import (
     UniformFitness,
 )
 from repro.models.null_model import NullModel
-from repro.models.params import CuisineSpec, ModelParams
+from repro.models.params import ENGINES, CuisineSpec, ModelParams
 from repro.models.registry import (
     PAPER_MODELS,
     available_models,
     create_model,
     register_model,
 )
-from repro.models.state import EvolutionState, EvolutionTraceCounters
+from repro.models.state import (
+    ArrayEvolutionState,
+    EvolutionState,
+    EvolutionTraceCounters,
+)
 from repro.models.statistics import EnsembleStatistics, summarize_ensemble
+from repro.models.vectorized import (
+    VECTORIZED_STREAM_VERSION,
+    run_vectorized,
+)
 
 __all__ = [
+    "ArrayEvolutionState",
+    "ENGINES",
+    "VECTORIZED_STREAM_VERSION",
+    "run_vectorized",
     "CopyMutateBase",
     "CulinaryEvolutionModel",
     "EvolutionRun",

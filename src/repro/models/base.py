@@ -13,23 +13,37 @@ fixes the number of evolved recipes to ``N − n₀``; we therefore iterate
 until the recipe pool reaches ``N``, with pool-growth steps not consuming
 the recipe budget.  If the universe is exhausted while ∂ < φ, recipe
 steps proceed anyway (nothing else can change ∂).
+
+Engines (DESIGN.md §5): :meth:`CulinaryEvolutionModel.run` dispatches on
+the selected engine.  The scalar loop in this module is the
+``"reference"`` engine — the executable specification.  The
+``"vectorized"`` engine (:mod:`repro.models.vectorized`, the default)
+replays the same dynamics over array-backed state with batched RNG
+draws; models opt in by declaring ``vectorized_kind`` on their class,
+and models that customize mutation behavior without declaring it fall
+back to the reference engine automatically.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import ClassVar
 
 import numpy as np
 
 from repro.errors import ModelError
 from repro.models.fitness import FitnessStrategy, UniformFitness
-from repro.models.params import CuisineSpec, ModelParams
+from repro.models.params import ENGINES, CuisineSpec, ModelParams
 from repro.models.state import EvolutionState, EvolutionTraceCounters
 from repro.rng import SeedLike, ensure_rng
 
 __all__ = ["EvolutionRun", "CulinaryEvolutionModel", "CopyMutateBase"]
+
+#: RNG-stream contract version of the reference engine (scalar draws in
+#: loop order).  Part of the run-cache key; bump on any change to the
+#: draw sequence.
+REFERENCE_STREAM_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -81,23 +95,86 @@ class CulinaryEvolutionModel(abc.ABC):
     Args:
         params: Model parameters (Sec. VI defaults).
         fitness: Fitness strategy (paper: Uniform(0, 1)).
+        engine: Convenience override for ``params.engine``
+            (``"reference"`` or ``"vectorized"``); ``None`` keeps the
+            params' choice.
     """
 
     #: Registry name, e.g. ``"CM-R"`` — set by concrete classes.
     name: ClassVar[str] = ""
 
+    #: Vectorized recipe-step kind (``"pool"``/``"category"``/
+    #: ``"mixture"``/``"null"``), declared by classes the vectorized
+    #: engine supports.  Deliberately looked up on the *exact* class
+    #: (never inherited): a subclass that changes mutation behavior
+    #: without redeclaring it falls back to the reference engine
+    #: instead of running a mismatched vectorized step.
+    vectorized_kind: ClassVar[str | None] = None
+
     def __init__(
         self,
         params: ModelParams | None = None,
         fitness: FitnessStrategy | None = None,
+        engine: str | None = None,
     ):
         self.params = params if params is not None else self.default_params()
+        if engine is not None:
+            self.params = replace(self.params, engine=engine)
         self.fitness = fitness if fitness is not None else UniformFitness()
 
     @classmethod
     def default_params(cls) -> ModelParams:
         """Paper defaults for this model (overridden per variant)."""
         return ModelParams()
+
+    # ------------------------------------------------------------------
+    # Engine selection
+    # ------------------------------------------------------------------
+
+    def resolve_engine(self, engine: str | None = None) -> str:
+        """The engine a run would actually execute on.
+
+        Args:
+            engine: Per-run override; ``None`` uses ``params.engine``.
+
+        Returns:
+            ``"vectorized"`` or ``"reference"``.  A vectorized request
+            resolves to ``"reference"`` when this model's class does not
+            declare ``vectorized_kind`` itself (extensions with custom
+            recipe steps), so unsupported models degrade safely instead
+            of erroring.
+
+        Raises:
+            ModelError: On an unknown engine name.
+        """
+        requested = engine if engine is not None else self.params.engine
+        if requested not in ENGINES:
+            raise ModelError(
+                f"unknown engine {requested!r}; available: {ENGINES}"
+            )
+        if (
+            requested == "vectorized"
+            and type(self).__dict__.get("vectorized_kind") is None
+        ):
+            return "reference"
+        return requested
+
+    def engine_contract(self, engine: str | None = None) -> dict[str, object]:
+        """The resolved engine plus its RNG-stream contract version.
+
+        This is what the run cache keys on (beyond the model state
+        itself): two configurations that consume the RNG stream
+        differently must never share a cache entry.
+        """
+        resolved = self.resolve_engine(engine)
+        if resolved == "vectorized":
+            from repro.models.vectorized import VECTORIZED_STREAM_VERSION
+
+            return {
+                "engine": resolved,
+                "stream_version": VECTORIZED_STREAM_VERSION,
+            }
+        return {"engine": resolved, "stream_version": REFERENCE_STREAM_VERSION}
 
     # ------------------------------------------------------------------
     # The shared loop
@@ -108,19 +185,31 @@ class CulinaryEvolutionModel(abc.ABC):
         spec: CuisineSpec,
         seed: SeedLike = None,
         record_history: bool = False,
+        engine: str | None = None,
     ) -> EvolutionRun:
         """Simulate one cuisine evolution (Algorithm 1).
 
         Args:
             spec: Cuisine inputs (``I``, ``s̄``, ``N``, ``φ``).
-            seed: RNG seed; fixed seeds reproduce runs exactly.
+            seed: RNG seed; fixed seeds reproduce runs exactly (per
+                engine — the engines consume the stream in different
+                orders, so the same seed yields different, equally valid
+                runs on each).
             record_history: Also record the ``(m, n)`` trajectory after
                 every iteration (pool growth analysis).
+            engine: Per-run engine override (default:
+                ``params.engine``); see :meth:`resolve_engine`.
 
         Returns:
             The completed :class:`EvolutionRun`.
         """
         rng = ensure_rng(seed)
+        if self.resolve_engine(engine) == "vectorized":
+            from repro.models.vectorized import run_vectorized
+
+            return run_vectorized(
+                self, spec, rng=rng, record_history=record_history
+            )
         fitness_values = np.asarray(
             self.fitness.assign(spec.ingredient_ids, rng), dtype=np.float64
         )

@@ -27,6 +27,7 @@ class CopyMutateRandom(CopyMutateBase):
     """CM-R: unrestricted replacement choice."""
 
     name = "CM-R"
+    vectorized_kind = "pool"
 
     @classmethod
     def default_params(cls) -> ModelParams:
@@ -45,6 +46,7 @@ class CopyMutateCategory(CopyMutateBase):
     """CM-C: replacement restricted to the victim's category."""
 
     name = "CM-C"
+    vectorized_kind = "category"
 
     @classmethod
     def default_params(cls) -> ModelParams:
@@ -68,6 +70,7 @@ class CopyMutateMixture(CopyMutateBase):
     """CM-M: category-restricted exactly half the time."""
 
     name = "CM-M"
+    vectorized_kind = "mixture"
 
     @classmethod
     def default_params(cls) -> ModelParams:

@@ -25,7 +25,7 @@ from repro.lexicon.lexicon import Lexicon
 from repro.models.base import CulinaryEvolutionModel, EvolutionRun
 from repro.models.params import CuisineSpec
 from repro.rng import SeedLike, ensure_rng, spawn_seeds
-from repro.runtime import RuntimeConfig, execute_runs
+from repro.runtime import RuntimeConfig, execute_runs, parallel_map
 
 __all__ = [
     "EnsembleResult",
@@ -75,14 +75,27 @@ def ensemble_curve(
     mining: MiningConfig = DEFAULT_MINING,
     level: str = "ingredient",
     lexicon: Lexicon | None = None,
+    runtime: RuntimeConfig | None = None,
 ) -> RankFrequencyCurve:
-    """Aggregate runs into one rank-frequency curve at the given level."""
+    """Aggregate runs into one rank-frequency curve at the given level.
+
+    Per-run mining fans out through
+    :func:`~repro.runtime.runner.parallel_map` when a parallel
+    ``runtime`` is configured.  The map preserves run order, so the
+    averaged curve is identical to the serial path on every backend.
+    Note the fan-out is thread-based even under ``backend="process"``
+    (the mining closure cannot cross process boundaries), so the
+    pure-Python miner remains GIL-bound; the seam exists so a picklable
+    miner or a GIL-releasing implementation scales without touching
+    callers.
+    """
     if not runs:
         raise ModelError("cannot aggregate zero runs")
     if level == "category" and lexicon is None:
         raise ModelError("category-level aggregation requires a lexicon")
-    curves = []
-    for index, run in enumerate(runs):
+
+    def _mine_one(indexed: tuple[int, EvolutionRun]) -> RankFrequencyCurve:
+        index, run = indexed
         transactions = (
             run.transactions
             if level == "ingredient"
@@ -94,7 +107,9 @@ def ensemble_curve(
             algorithm=mining.algorithm,
             max_size=mining.max_size,
         )
-        curves.append(curve_from_mining(result, f"{label}#{index}"))
+        return curve_from_mining(result, f"{label}#{index}")
+
+    curves = parallel_map(_mine_one, list(enumerate(runs)), runtime=runtime)
     return average_curves(curves, label)
 
 
@@ -105,6 +120,7 @@ def aggregate_ensemble(
     mining: MiningConfig = DEFAULT_MINING,
     lexicon: Lexicon | None = None,
     include_category_level: bool = False,
+    runtime: RuntimeConfig | None = None,
 ) -> EnsembleResult:
     """Aggregate completed runs into an :class:`EnsembleResult`.
 
@@ -112,17 +128,20 @@ def aggregate_ensemble(
     so callers that already hold the runs — a grid sweep merging
     :class:`~repro.runtime.sweep.SweepResult` cells, a cache replay —
     produce byte-identical ensembles to the run-and-aggregate path.
+    Per-run mining respects the ``runtime`` fan-out (order-preserving,
+    so results do not depend on the backend).
     """
     if not runs:
         raise ModelError("cannot aggregate an ensemble of zero runs")
     runs = tuple(runs)
     ingredient_curve = ensemble_curve(
-        runs, model_name, mining=mining, level="ingredient"
+        runs, model_name, mining=mining, level="ingredient", runtime=runtime
     )
     category_curve = None
     if include_category_level:
         category_curve = ensemble_curve(
-            runs, model_name, mining=mining, level="category", lexicon=lexicon
+            runs, model_name, mining=mining, level="category",
+            lexicon=lexicon, runtime=runtime,
         )
     return EnsembleResult(
         model_name=model_name,
@@ -174,4 +193,5 @@ def run_ensemble(
         mining=mining,
         lexicon=lexicon,
         include_category_level=include_category_level,
+        runtime=runtime,
     )

@@ -36,6 +36,10 @@ class VariableSizeCopyMutate(CopyMutateBase):
         p_delete: Probability a mutation is a deletion.
         min_size: Smallest allowed recipe (paper bound: 2).
         max_size: Largest allowed recipe (paper bound: 38).
+        engine: Convenience override for ``params.engine``.  CM-V's
+            size-changing recipe step has no vectorized implementation
+            (``vectorized_kind`` deliberately unset), so a vectorized
+            request resolves to the reference engine.
     """
 
     name = "CM-V"
@@ -48,8 +52,9 @@ class VariableSizeCopyMutate(CopyMutateBase):
         p_delete: float = 0.15,
         min_size: int = PAPER.recipe_size_min,
         max_size: int = PAPER.recipe_size_max,
+        engine: str | None = None,
     ):
-        super().__init__(params=params, fitness=fitness)
+        super().__init__(params=params, fitness=fitness, engine=engine)
         if p_insert < 0 or p_delete < 0 or p_insert + p_delete > 1:
             raise ParameterError(
                 f"require p_insert, p_delete >= 0 and p_insert + p_delete "

@@ -35,17 +35,20 @@ class NullModel(CulinaryEvolutionModel):
         sample_from: ``"pool"`` (default) draws recipes from the growing
             ingredient pool; ``"universe"`` draws from the full cuisine
             ingredient list.
+        engine: Convenience override for ``params.engine``.
     """
 
     name = "NM"
+    vectorized_kind = "null"
 
     def __init__(
         self,
         params: ModelParams | None = None,
         fitness: FitnessStrategy | None = None,
         sample_from: str = "pool",
+        engine: str | None = None,
     ):
-        super().__init__(params=params, fitness=fitness)
+        super().__init__(params=params, fitness=fitness, engine=engine)
         if sample_from not in ("pool", "universe"):
             raise ModelError(
                 f"sample_from must be 'pool' or 'universe', got {sample_from!r}"

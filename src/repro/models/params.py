@@ -19,7 +19,14 @@ from repro.errors import ParameterError
 from repro.lexicon.categories import Category
 from repro.lexicon.lexicon import Lexicon
 
-__all__ = ["ModelParams", "CuisineSpec"]
+__all__ = ["ENGINES", "ModelParams", "CuisineSpec"]
+
+#: Recognized simulation engines (see DESIGN.md §5).  ``"reference"`` is
+#: the scalar Algorithm 1 loop kept as the executable specification;
+#: ``"vectorized"`` is the array-backed engine with batched RNG draws
+#: (the default — ≥3× single-run throughput, same dynamics under its own
+#: versioned determinism contract).
+ENGINES: tuple[str, ...] = ("reference", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -42,6 +49,13 @@ class ModelParams:
             fall back to ``"random"`` pool-wide choice.
         mixture_category_probability: CM-M's probability of using the
             category-restricted choice (paper: exactly half the time).
+        engine: Simulation engine executing Algorithm 1:
+            ``"vectorized"`` (default; array-backed state, batched RNG
+            draws) or ``"reference"`` (the scalar loop, kept as the
+            executable spec).  Both are deterministic per seed and
+            distributionally equivalent, but they consume the RNG
+            stream in different orders, so their runs — and their
+            run-cache keys — differ (DESIGN.md §5).
     """
 
     initial_pool_size: int = PAPER.model_initial_pool_size
@@ -50,6 +64,7 @@ class ModelParams:
     duplicate_policy: str = "skip"
     category_fallback: str = "skip"
     mixture_category_probability: float = 0.5
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.initial_pool_size < 1:
@@ -77,10 +92,18 @@ class ModelParams:
                 "mixture_category_probability must be in [0, 1], got "
                 f"{self.mixture_category_probability}"
             )
+        if self.engine not in ENGINES:
+            raise ParameterError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
 
     def with_mutations(self, mutations: int) -> "ModelParams":
         """Copy with a different ``M``."""
         return replace(self, mutations=mutations)
+
+    def with_engine(self, engine: str) -> "ModelParams":
+        """Copy selecting a different simulation engine."""
+        return replace(self, engine=engine)
 
     def derive_initial_recipes(self, phi: float) -> int:
         """The paper's ``n = m/φ`` (Sec. VI), unless overridden."""

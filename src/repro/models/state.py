@@ -1,10 +1,27 @@
-"""Mutable simulation state for Algorithm 1.
+"""Mutable simulation state for Algorithm 1, in two representations.
 
-Tracks the ingredient universe ``I``, the growing pool ``I₀``, the
-growing recipe pool ``R₀``, per-ingredient fitness, and the pool-ratio
-bookkeeping (∂ = m/n vs φ).  The state exposes exactly the operations
-the algorithm needs, each preserving the documented invariants (enforced
-by the property tests):
+Both engines (DESIGN.md §5) track the ingredient universe ``I``, the
+growing pool ``I₀``, the growing recipe pool ``R₀``, per-ingredient
+fitness, and the pool-ratio bookkeeping (∂ = m/n vs φ):
+
+* :class:`EvolutionState` — the **reference** representation.  Its public
+  surface speaks ingredient *ids* (recipes are lists of ids, draws
+  return ids) because the scalar loop and the extensions
+  (:mod:`repro.models.extensions`) are written in id space.  Internally
+  fitness and category live in dense position-indexed arrays — a single
+  id→position index replaces the old per-quantity dicts — and
+  per-category pool membership is a contiguous list per category code.
+* :class:`ArrayEvolutionState` — the **vectorized** representation.
+  Everything is a dense integer *position* (the index into
+  ``spec.ingredient_ids``): fitness and category are arrays indexed by
+  position, the pool/remaining partition is a pair of index lists with
+  O(1) swap-moves, per-category pool membership is one contiguous,
+  append-only index list per category (the pool never shrinks), and
+  recipes hold positions until :meth:`~ArrayEvolutionState.transactions`
+  maps them back to ids.  The vectorized engine
+  (:mod:`repro.models.vectorized`) drives it with batched RNG draws.
+
+Shared invariants (enforced by the property tests):
 
 * the pool is always a subset of the original universe;
 * pool and remaining universe are disjoint and their union is constant;
@@ -21,7 +38,20 @@ from repro.errors import ModelError
 from repro.lexicon.categories import Category
 from repro.models.params import CuisineSpec
 
-__all__ = ["EvolutionState", "EvolutionTraceCounters"]
+__all__ = [
+    "ArrayEvolutionState",
+    "CATEGORY_CODES",
+    "EvolutionState",
+    "EvolutionTraceCounters",
+]
+
+#: Stable category → dense integer code mapping (enum declaration order).
+CATEGORY_CODES: dict[Category, int] = {
+    category: code for code, category in enumerate(Category)
+}
+
+#: Dense code → category, inverse of :data:`CATEGORY_CODES`.
+CATEGORIES_BY_CODE: tuple[Category, ...] = tuple(Category)
 
 
 @dataclass
@@ -48,8 +78,16 @@ class EvolutionTraceCounters:
     mutations_skipped_no_candidate: int = 0
 
 
+def _position_index(ingredient_ids: tuple[int, ...]) -> dict[int, int]:
+    """The id → dense-position index shared by both representations."""
+    return {
+        int(ingredient_id): position
+        for position, ingredient_id in enumerate(ingredient_ids)
+    }
+
+
 class EvolutionState:
-    """Live state of one Algorithm 1 run."""
+    """Live state of one reference-engine Algorithm 1 run (id space)."""
 
     def __init__(
         self,
@@ -70,14 +108,15 @@ class EvolutionState:
 
         self.spec = spec
         self._rng = rng
-        self._fitness = {
-            ingredient_id: float(value)
-            for ingredient_id, value in zip(spec.ingredient_ids, fitness)
-        }
-        self._category = {
-            ingredient_id: category
-            for ingredient_id, category in zip(spec.ingredient_ids, spec.categories)
-        }
+        # Dense position-indexed value arrays; one id→position index
+        # replaces the per-quantity dicts the state used to carry.
+        self._position_of = _position_index(spec.ingredient_ids)
+        self._fitness_list: list[float] = (
+            np.asarray(fitness, dtype=np.float64).tolist()
+        )
+        self._category_codes: list[int] = [
+            CATEGORY_CODES[category] for category in spec.categories
+        ]
 
         # Step 2: I0 <- m random ingredients; I <- I - I0.
         universe = np.asarray(spec.ingredient_ids, dtype=np.int64)
@@ -85,13 +124,15 @@ class EvolutionState:
         mask = np.zeros(universe.size, dtype=bool)
         mask[picked] = True
         self._pool: list[int] = [int(i) for i in universe[mask]]
-        self._pool_set: set[int] = set(self._pool)
         self._remaining: list[int] = [int(i) for i in universe[~mask]]
-        self._pool_by_category: dict[Category, list[int]] = {}
+        # Contiguous pool-membership list per category code (append-only:
+        # the pool never shrinks).
+        self._pool_by_code: list[list[int]] = [
+            [] for _ in CATEGORIES_BY_CODE
+        ]
         for ingredient_id in self._pool:
-            self._pool_by_category.setdefault(
-                self._category[ingredient_id], []
-            ).append(ingredient_id)
+            code = self._category_codes[self._position_of[ingredient_id]]
+            self._pool_by_code[code].append(ingredient_id)
 
         # R0 <- n recipes of s̄ distinct pool ingredients each.
         size = min(spec.recipe_size, len(self._pool))
@@ -130,7 +171,7 @@ class EvolutionState:
 
     def fitness_of(self, ingredient_id: int) -> float:
         try:
-            return self._fitness[ingredient_id]
+            return self._fitness_list[self._position_of[ingredient_id]]
         except KeyError:
             raise ModelError(
                 f"ingredient {ingredient_id} is not in this cuisine's universe"
@@ -138,11 +179,12 @@ class EvolutionState:
 
     def category_of(self, ingredient_id: int) -> Category:
         try:
-            return self._category[ingredient_id]
+            code = self._category_codes[self._position_of[ingredient_id]]
         except KeyError:
             raise ModelError(
                 f"ingredient {ingredient_id} is not in this cuisine's universe"
             ) from None
+        return CATEGORIES_BY_CODE[code]
 
     # ------------------------------------------------------------------
     # Algorithm steps
@@ -161,10 +203,8 @@ class EvolutionState:
         self._remaining[row] = self._remaining[-1]
         self._remaining.pop()
         self._pool.append(ingredient_id)
-        self._pool_set.add(ingredient_id)
-        self._pool_by_category.setdefault(
-            self._category[ingredient_id], []
-        ).append(ingredient_id)
+        code = self._category_codes[self._position_of[ingredient_id]]
+        self._pool_by_code[code].append(ingredient_id)
         self.trace.ingredients_added += 1
         return ingredient_id
 
@@ -179,7 +219,7 @@ class EvolutionState:
         self, category: Category
     ) -> int | None:
         """Uniform draw from pool ∩ category (CM-C's j); None if empty."""
-        members = self._pool_by_category.get(category)
+        members = self._pool_by_code[CATEGORY_CODES[category]]
         if not members:
             return None
         return members[int(self._rng.integers(0, len(members)))]
@@ -198,3 +238,129 @@ class EvolutionState:
     def transactions(self) -> list[frozenset[int]]:
         """Recipe pool as itemset transactions (mining input)."""
         return [frozenset(recipe) for recipe in self.recipes]
+
+
+class ArrayEvolutionState:
+    """Dense position-indexed state for the vectorized engine.
+
+    All quantities are integer *positions* into ``spec.ingredient_ids``;
+    ids only reappear when :meth:`transactions` converts the finished
+    recipe pool.  Containers are kept as plain Python lists of machine
+    ints — the vectorized engine batches its RNG draws into numpy calls
+    but applies them through scalar bookkeeping, and list indexing beats
+    per-element ndarray access there.
+
+    Args:
+        spec: Cuisine inputs.
+        fitness: Fitness per position (aligned with
+            ``spec.ingredient_ids``).
+        rng: Generator used for the one-time initialization draws (the
+            main loop consumes a block-buffered uniform stream instead;
+            see :class:`repro.models.vectorized.UniformBuffer`).
+        initial_pool_size: ``m`` before capping at the universe size.
+        initial_recipes: ``n₀``.
+    """
+
+    __slots__ = (
+        "spec",
+        "fitness",
+        "category_codes",
+        "pool",
+        "remaining",
+        "pool_by_code",
+        "recipes",
+        "trace",
+    )
+
+    def __init__(
+        self,
+        spec: CuisineSpec,
+        fitness: np.ndarray,
+        rng: np.random.Generator,
+        initial_pool_size: int,
+        initial_recipes: int,
+    ):
+        if fitness.shape != (len(spec.ingredient_ids),):
+            raise ModelError(
+                f"fitness must align with the universe: {fitness.shape} vs "
+                f"{len(spec.ingredient_ids)}"
+            )
+        universe_size = len(spec.ingredient_ids)
+        m = min(initial_pool_size, universe_size)
+        if m < 1:
+            raise ModelError("initial pool must hold at least one ingredient")
+
+        self.spec = spec
+        #: Fitness by position, as Python floats (hot-loop lookups).
+        self.fitness: list[float] = (
+            np.asarray(fitness, dtype=np.float64).tolist()
+        )
+        #: Category code by position (see :data:`CATEGORY_CODES`).
+        self.category_codes: list[int] = [
+            CATEGORY_CODES[category] for category in spec.categories
+        ]
+
+        # Step 2: I0 <- m random positions; I <- I - I0.  Same draw shape
+        # as the reference state (one `choice` without replacement).
+        picked = rng.choice(universe_size, size=m, replace=False)
+        mask = np.zeros(universe_size, dtype=bool)
+        mask[picked] = True
+        #: Pool positions, in insertion order (append-only).
+        self.pool: list[int] = np.nonzero(mask)[0].tolist()
+        #: Remaining universe positions; shrinks by O(1) swap-moves.
+        self.remaining: list[int] = np.nonzero(~mask)[0].tolist()
+        #: Contiguous pool positions per category code (append-only).
+        self.pool_by_code: list[list[int]] = [[] for _ in CATEGORIES_BY_CODE]
+        category_codes = self.category_codes
+        for position in self.pool:
+            self.pool_by_code[category_codes[position]].append(position)
+
+        # R0 <- n recipes of s̄ distinct pool positions each.
+        size = min(spec.recipe_size, len(self.pool))
+        pool = self.pool
+        self.recipes: list[list[int]] = [
+            [pool[int(row)] for row in rng.choice(len(pool), size=size,
+                                                  replace=False)]
+            for _ in range(initial_recipes)
+        ]
+        self.trace = EvolutionTraceCounters()
+
+    @property
+    def m(self) -> int:
+        """Current ingredient pool size."""
+        return len(self.pool)
+
+    @property
+    def n(self) -> int:
+        """Current recipe pool size."""
+        return len(self.recipes)
+
+    def can_grow_pool(self) -> bool:
+        """Whether the remaining universe is non-empty."""
+        return bool(self.remaining)
+
+    def grow_pool(self, u: float) -> int:
+        """Move the ``⌊u·|remaining|⌋``-th remaining position into the pool.
+
+        ``u`` is a uniform [0, 1) variate from the engine's buffered
+        stream; the swap-move keeps the remaining list contiguous in
+        O(1).
+        """
+        remaining = self.remaining
+        if not remaining:
+            raise ModelError("ingredient universe is exhausted")
+        row = int(u * len(remaining))
+        position = remaining[row]
+        remaining[row] = remaining[-1]
+        remaining.pop()
+        self.pool.append(position)
+        self.pool_by_code[self.category_codes[position]].append(position)
+        self.trace.ingredients_added += 1
+        return position
+
+    def transactions(self) -> list[frozenset[int]]:
+        """Recipe pool as id-space itemset transactions (mining input)."""
+        id_of = list(self.spec.ingredient_ids).__getitem__
+        return [
+            frozenset(map(id_of, recipe)) for recipe in self.recipes
+        ]

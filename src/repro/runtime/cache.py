@@ -45,7 +45,10 @@ __all__ = [
 
 #: Bump when the canonical encoding or the pickled payload layout
 #: changes; old entries then miss instead of deserializing garbage.
-CACHE_FORMAT_VERSION = 1
+#: v2: the payload gained the resolved engine + RNG-stream contract
+#: version (``ModelParams`` also grew the ``engine`` field), so
+#: reference and vectorized runs can never share an entry.
+CACHE_FORMAT_VERSION = 2
 
 
 def _canonical(value: object) -> object:
@@ -108,6 +111,7 @@ def fingerprint_many(
     spec: "CuisineSpec",
     seeds: "Sequence[int]",
     record_history: bool = False,
+    engine: str | None = None,
 ) -> list[str]:
     """SHA-256 keys for many runs sharing one (model, spec).
 
@@ -115,6 +119,19 @@ def fingerprint_many(
     canonicalize (a real cuisine spec holds hundreds of ingredient ids)
     — is encoded once and reused for every seed, so keying a 100-run
     ensemble costs one canonicalization, not a hundred.
+
+    Args:
+        model: The configured model.
+        spec: Cuisine inputs.
+        seeds: Per-run integer seeds.
+        record_history: Whether the runs record trajectories.
+        engine: Per-run engine override (as carried by
+            :class:`~repro.runtime.runner.RunRequest`); ``None`` uses
+            the model's own ``params.engine``.  The key always covers
+            the *resolved* engine plus its RNG-stream contract version,
+            so runs produced by different engines — or by an engine
+            whose stream contract changed — never collide (DESIGN.md
+            §5).
     """
     base = {
         "version": CACHE_FORMAT_VERSION,
@@ -128,6 +145,7 @@ def fingerprint_many(
             # a cache key.
             "state": _canonical(vars(model)),
         },
+        "engine": _canonical(model.engine_contract(engine)),
         "spec": _canonical(spec),
         "record_history": bool(record_history),
     }
@@ -145,9 +163,10 @@ def run_fingerprint(
     spec: "CuisineSpec",
     seed: int,
     record_history: bool = False,
+    engine: str | None = None,
 ) -> str:
     """SHA-256 key identifying one run's complete inputs."""
-    return fingerprint_many(model, spec, [seed], record_history)[0]
+    return fingerprint_many(model, spec, [seed], record_history, engine)[0]
 
 
 @dataclass(frozen=True)
@@ -288,4 +307,47 @@ class RunCache:
                 removed += 1
             except OSError:
                 pass
+        return removed
+
+    def prune_older_than(
+        self, max_age_seconds: float, now: float | None = None
+    ) -> int:
+        """Delete entries whose mtime is older than ``max_age_seconds``.
+
+        The age-based GC policy for long-lived cache directories: a
+        periodic ``repro cache prune --max-age-days N`` keeps a shared
+        cache bounded.  Age is measured from the entry's *write* mtime
+        — :meth:`get` never refreshes it — so an entry older than the
+        cutoff is removed even if it was read recently.  Entries that
+        vanish mid-scan (a concurrent clear or prune) are skipped.
+
+        Args:
+            max_age_seconds: Age threshold; entries strictly older are
+                removed.
+            now: Reference epoch time (defaults to the current time;
+                injectable for tests).
+
+        Returns:
+            The number of entries removed.
+
+        Raises:
+            RunCacheError: If the threshold is negative.
+        """
+        if max_age_seconds < 0:
+            raise RunCacheError(
+                f"max_age_seconds must be >= 0, got {max_age_seconds}"
+            )
+        if now is None:
+            import time
+
+            now = time.time()
+        cutoff = now - max_age_seconds
+        removed = 0
+        for path in self.directory.glob("*.run.pkl"):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue
         return removed

@@ -45,17 +45,22 @@ class RunRequest:
         spec: Cuisine inputs.
         seed: Integer child seed from :func:`repro.rng.spawn_seeds`.
         record_history: Forwarded to ``model.run``.
+        engine: Per-run engine override forwarded to ``model.run``;
+            ``None`` uses the model's ``params.engine``.  The cache key
+            covers the resolved engine either way.
     """
 
     model: "CulinaryEvolutionModel"
     spec: "CuisineSpec"
     seed: int
     record_history: bool = False
+    engine: str | None = None
 
     def fingerprint(self) -> str:
         """Cache key for this request's complete inputs."""
         return run_fingerprint(
-            self.model, self.spec, self.seed, self.record_history
+            self.model, self.spec, self.seed, self.record_history,
+            self.engine,
         )
 
 
@@ -65,6 +70,7 @@ def execute_request(request: RunRequest) -> "EvolutionRun":
         request.spec,
         seed=rng_from_seed(request.seed),
         record_history=request.record_history,
+        engine=request.engine,
     )
 
 
@@ -133,6 +139,7 @@ def execute_runs(
     runtime: RuntimeConfig | None = None,
     record_history: bool = False,
     cache: RunCache | None = None,
+    engine: str | None = None,
 ) -> list["EvolutionRun"]:
     """Execute one run per seed, in seed order, through the runtime.
 
@@ -149,6 +156,8 @@ def execute_runs(
         record_history: Forwarded to every run.
         cache: Explicit cache instance (overrides ``runtime.cache_dir``;
             useful for inspecting hit/miss stats).
+        engine: Per-run engine override forwarded to every run
+            (default: the model's ``params.engine``).
 
     Returns:
         Runs aligned with ``seeds``.
@@ -158,7 +167,7 @@ def execute_runs(
         cache = RunCache(config.cache_dir)
     requests = [
         RunRequest(model=model, spec=spec, seed=int(seed),
-                   record_history=record_history)
+                   record_history=record_history, engine=engine)
         for seed in seeds
     ]
     keys = None
@@ -167,7 +176,7 @@ def execute_runs(
         # varies between requests.
         keys = fingerprint_many(
             model, spec, [request.seed for request in requests],
-            record_history,
+            record_history, engine,
         )
     results, _dispatched = dispatch_requests(requests, keys, config, cache)
     return results

@@ -124,10 +124,16 @@ class SweepPlan:
         cells: Cells in plan order — the order their seeds were drawn
             from the root generator, and the order results come back.
         record_history: Forwarded to every run.
+        engine: Per-run engine override forwarded to every run
+            (``None``: each cell's model decides via ``params.engine``).
+            Carried on the plan so one grid can be re-executed on the
+            other engine without rebuilding the models, and so the cache
+            keys of a sweep cover the engine its runs actually used.
     """
 
     cells: tuple[SweepCell, ...]
     record_history: bool = False
+    engine: str | None = None
 
     @property
     def n_cells(self) -> int:
@@ -145,6 +151,7 @@ class SweepPlan:
                 spec=cell.spec,
                 seed=seed,
                 record_history=self.record_history,
+                engine=self.engine,
             )
             for cell in self.cells
             for seed in cell.seeds
@@ -156,6 +163,7 @@ def plan_cells(
     n_runs: int,
     seed: SeedLike = None,
     record_history: bool = False,
+    engine: str | None = None,
 ) -> SweepPlan:
     """Draw per-run seeds for an ordered sequence of (model, spec) cells.
 
@@ -171,6 +179,7 @@ def plan_cells(
         seed: Root seed or generator; a passed generator is advanced
             exactly as the per-cell path would advance it.
         record_history: Forwarded to every run.
+        engine: Per-run engine override forwarded to every run.
 
     Raises:
         ExecutionError: If ``n_runs < 1``.
@@ -187,6 +196,7 @@ def plan_cells(
             for model, spec in cells
         ),
         record_history=record_history,
+        engine=engine,
     )
 
 
@@ -196,6 +206,7 @@ def plan_grid(
     n_runs: int,
     seed: SeedLike = None,
     record_history: bool = False,
+    engine: str | None = None,
 ) -> SweepPlan:
     """Plan the full cuisine-major (model × cuisine) grid.
 
@@ -209,6 +220,7 @@ def plan_grid(
         n_runs: Runs per (model, cuisine) cell.
         seed: Root seed or generator.
         record_history: Forwarded to every run.
+        engine: Per-run engine override forwarded to every run.
 
     Raises:
         ExecutionError: On an empty model or cuisine axis.
@@ -223,6 +235,7 @@ def plan_grid(
         n_runs=n_runs,
         seed=seed,
         record_history=record_history,
+        engine=engine,
     )
 
 
@@ -352,7 +365,8 @@ def execute_sweep(
             key
             for cell in plan.cells
             for key in fingerprint_many(
-                cell.model, cell.spec, cell.seeds, plan.record_history
+                cell.model, cell.spec, cell.seeds, plan.record_history,
+                plan.engine,
             )
         ]
     results, dispatched = dispatch_requests(requests, keys, config, cache)

@@ -1,0 +1,312 @@
+"""Reference-vs-vectorized engine equivalence (DESIGN.md §5).
+
+The two engines consume the RNG stream in different orders, so their
+runs are not bit-identical for a given seed.  The contract tested here
+instead has three layers:
+
+1. **Deterministic structure is exactly equal.**  The (m, n) trajectory
+   of the ∂-vs-φ alternation is a pure function of
+   (m₀, n₀, φ, N, |I|), independent of any random draw — so both
+   engines must produce *identical* histories, final pool sizes, and
+   deterministic trace counters (recipes/ingredients added, mutation
+   attempts) run by run.
+2. **Stochastic behaviour is distributionally equivalent.**  Acceptance
+   and rejection rates, final recipe compositions (ingredient-frequency
+   curves), and recipe-size profiles agree within ensemble tolerance
+   across all four models, both duplicate policies, and both category
+   fallbacks.
+3. **The vectorized engine is itself exactly deterministic** — fixed
+   seed → bit-identical runs, across serial/thread/process backends.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.lexicon.categories import Category
+from repro.models.null_model import NullModel
+from repro.models.params import CuisineSpec, ModelParams
+from repro.models.registry import PAPER_MODELS, create_model
+from repro.rng import ensure_rng, spawn_seeds
+from repro.runtime import RuntimeConfig, execute_runs
+
+N_SEEDS = 12
+
+
+def _spec(n_ingredients=40, n_recipes=150, avg_size=6.0, phi=None):
+    categories = list(Category)[:4]
+    return CuisineSpec(
+        region_code="TST",
+        ingredient_ids=tuple(range(n_ingredients)),
+        categories=tuple(categories[i % 4] for i in range(n_ingredients)),
+        avg_recipe_size=avg_size,
+        n_recipes=n_recipes,
+        phi=phi if phi is not None else n_ingredients / n_recipes,
+    )
+
+
+def _pair(name, seed, spec, record_history=False, **kwargs):
+    reference = create_model(name, engine="reference", **kwargs).run(
+        spec, seed=seed, record_history=record_history
+    )
+    vectorized = create_model(name, engine="vectorized", **kwargs).run(
+        spec, seed=seed, record_history=record_history
+    )
+    return reference, vectorized
+
+
+def _ingredient_frequencies(runs) -> np.ndarray:
+    """Mean per-ingredient usage frequency over an ensemble of runs."""
+    counts: Counter[int] = Counter()
+    total = 0
+    for run in runs:
+        for transaction in run.transactions:
+            counts.update(transaction)
+            total += len(transaction)
+    universe = max(counts) + 1 if counts else 0
+    freq = np.zeros(universe)
+    for ingredient, count in counts.items():
+        freq[ingredient] = count / total
+    return freq
+
+
+# ----------------------------------------------------------------------
+# Layer 1: deterministic structure
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", PAPER_MODELS)
+def test_trajectories_identical(name):
+    """(m, n) histories and final pool sizes match run for run."""
+    spec = _spec()
+    for seed in range(N_SEEDS):
+        reference, vectorized = _pair(name, seed, spec, record_history=True)
+        assert reference.history == vectorized.history
+        assert reference.final_pool_size == vectorized.final_pool_size
+        assert reference.initial_recipes == vectorized.initial_recipes
+        assert reference.n_recipes == vectorized.n_recipes
+
+
+@pytest.mark.parametrize("name", PAPER_MODELS)
+def test_deterministic_counters_identical(name):
+    """Counters fixed by the trajectory (not by draws) match exactly."""
+    spec = _spec()
+    for seed in range(N_SEEDS):
+        reference, vectorized = _pair(name, seed, spec)
+        assert (
+            reference.trace.recipes_added == vectorized.trace.recipes_added
+        )
+        assert (
+            reference.trace.ingredients_added
+            == vectorized.trace.ingredients_added
+        )
+        assert (
+            reference.trace.mutations_attempted
+            == vectorized.trace.mutations_attempted
+        )
+
+
+def test_exhausted_universe_trajectory():
+    """Tiny universe: pool exhausts mid-run; trajectories still match."""
+    spec = _spec(n_ingredients=6, n_recipes=80, avg_size=3.0, phi=0.5)
+    for name in PAPER_MODELS:
+        reference, vectorized = _pair(name, 3, spec, record_history=True)
+        assert reference.history == vectorized.history
+        assert reference.final_pool_size == spec.n_ingredients
+
+
+# ----------------------------------------------------------------------
+# Layer 2: distributional equivalence
+# ----------------------------------------------------------------------
+
+
+def _ensemble(name, spec, engine, n=N_SEEDS, **kwargs):
+    model = create_model(name, engine=engine, **kwargs)
+    return [model.run(spec, seed=1000 + seed) for seed in range(n)]
+
+
+@pytest.mark.parametrize("name", PAPER_MODELS)
+def test_acceptance_rates_close(name):
+    """Mean mutation acceptance rates agree within ensemble tolerance."""
+    spec = _spec()
+    rates = {}
+    for engine in ("reference", "vectorized"):
+        runs = _ensemble(name, spec, engine)
+        attempted = sum(run.trace.mutations_attempted for run in runs)
+        accepted = sum(run.trace.mutations_accepted for run in runs)
+        rates[engine] = accepted / attempted if attempted else 0.0
+    if name == "NM":
+        assert rates["reference"] == rates["vectorized"] == 0.0
+    else:
+        assert rates["reference"] > 0
+        assert rates["vectorized"] == pytest.approx(
+            rates["reference"], rel=0.15
+        )
+
+
+@pytest.mark.parametrize("name", PAPER_MODELS)
+def test_ingredient_frequency_curves_close(name):
+    """Mean per-ingredient usage distributions agree (MAE tolerance)."""
+    spec = _spec()
+    reference = _ingredient_frequencies(_ensemble(name, spec, "reference"))
+    vectorized = _ingredient_frequencies(_ensemble(name, spec, "vectorized"))
+    size = max(reference.size, vectorized.size)
+    reference = np.pad(reference, (0, size - reference.size))
+    vectorized = np.pad(vectorized, (0, size - vectorized.size))
+    # Mean frequency is 1/40 = 0.025; a 0.004 MAE bound keeps the two
+    # ensembles statistically indistinguishable at this size.
+    assert float(np.abs(reference - vectorized).mean()) < 0.004
+
+
+@pytest.mark.parametrize("policy", ["skip", "allow"])
+def test_duplicate_policies_equivalent(policy):
+    """Recipe-size profiles match under both duplicate policies."""
+    spec = _spec(n_ingredients=24, n_recipes=300, avg_size=6.0)
+    params = ModelParams(mutations=8, duplicate_policy=policy)
+    sizes = {}
+    for engine in ("reference", "vectorized"):
+        runs = _ensemble("CM-R", spec, engine, params=params)
+        sizes[engine] = Counter(
+            len(transaction) for run in runs for transaction in run.transactions
+        )
+    if policy == "skip":
+        assert set(sizes["reference"]) == set(sizes["vectorized"]) == {6}
+    else:
+        # Both engines must produce shrunken recipes at a similar rate.
+        def shrink_rate(counter):
+            total = sum(counter.values())
+            return sum(v for k, v in counter.items() if k < 6) / total
+
+        assert shrink_rate(sizes["reference"]) > 0
+        assert shrink_rate(sizes["vectorized"]) == pytest.approx(
+            shrink_rate(sizes["reference"]), rel=0.3
+        )
+
+
+@pytest.mark.parametrize("fallback", ["skip", "random"])
+@pytest.mark.parametrize("name", ["CM-C", "CM-M"])
+def test_category_fallbacks_equivalent(name, fallback):
+    """Skip/random category fallbacks behave alike on a sparse universe.
+
+    A 6-ingredient universe with 4 categories makes empty pool∩category
+    draws common, exercising the fallback on both engines.
+    """
+    spec = _spec(n_ingredients=6, n_recipes=120, avg_size=3.0, phi=0.3)
+    params = ModelParams(mutations=6, category_fallback=fallback)
+    skipped = {}
+    for engine in ("reference", "vectorized"):
+        runs = _ensemble(name, spec, engine, params=params)
+        attempted = sum(run.trace.mutations_attempted for run in runs)
+        skipped[engine] = (
+            sum(run.trace.mutations_skipped_no_candidate for run in runs)
+            / attempted
+        )
+    if fallback == "random":
+        assert skipped["reference"] == skipped["vectorized"] == 0.0
+    else:
+        assert skipped["vectorized"] == pytest.approx(
+            skipped["reference"], abs=0.05
+        )
+
+
+def test_cm_c_category_preservation_vectorized():
+    """CM-C's category-multiset invariant holds on the vectorized engine."""
+    spec = _spec(n_ingredients=40, n_recipes=200, avg_size=6.0)
+    run = create_model("CM-C", engine="vectorized").run(spec, seed=6)
+
+    def category_vector(transaction):
+        counts = [0, 0, 0, 0]
+        for ingredient_id in transaction:
+            counts[ingredient_id % 4] += 1
+        return tuple(counts)
+
+    vectors = {category_vector(t) for t in run.transactions}
+    initial = {
+        category_vector(t)
+        for t in run.transactions[: run.initial_recipes]
+    }
+    assert vectors == initial
+
+
+@pytest.mark.parametrize("sample_from", ["pool", "universe"])
+def test_null_model_sampling_modes_equivalent(sample_from):
+    """NM recipes stay distinct, correctly sized, in-universe, per mode."""
+    spec = _spec(n_ingredients=30, n_recipes=150, avg_size=5.0)
+    reference = NullModel(sample_from=sample_from, engine="reference").run(
+        spec, seed=2, record_history=True
+    )
+    vectorized = NullModel(sample_from=sample_from, engine="vectorized").run(
+        spec, seed=2, record_history=True
+    )
+    assert reference.history == vectorized.history
+    universe = set(spec.ingredient_ids)
+    for run in (reference, vectorized):
+        assert all(len(t) == spec.recipe_size for t in run.transactions)
+        assert all(t <= universe for t in run.transactions)
+    # Pool-mode recipes drawn before the pool finished growing can only
+    # use pool members; compare how tightly early recipes concentrate.
+    if sample_from == "pool":
+        early_ref = set().union(*reference.transactions[:20])
+        early_vec = set().union(*vectorized.transactions[:20])
+        assert len(early_ref) < spec.n_ingredients
+        assert len(early_vec) < spec.n_ingredients
+
+
+# ----------------------------------------------------------------------
+# Layer 3: vectorized determinism across backends
+# ----------------------------------------------------------------------
+
+
+def test_vectorized_deterministic_per_seed():
+    """Same seed → bit-identical vectorized runs, every model."""
+    spec = _spec()
+    for name in PAPER_MODELS:
+        model = create_model(name, engine="vectorized")
+        first = model.run(spec, seed=42, record_history=True)
+        second = model.run(spec, seed=42, record_history=True)
+        assert first.transactions == second.transactions
+        assert first.trace == second.trace
+        assert first.history == second.history
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_vectorized_bit_identical_across_backends(backend):
+    """Serial vs parallel backends agree bit-for-bit (vectorized)."""
+    spec = _spec(n_ingredients=30, n_recipes=40, avg_size=4.0, phi=0.6)
+    model = create_model("CM-M", engine="vectorized")
+    seeds = spawn_seeds(ensure_rng(5), 4)
+    serial = execute_runs(model, spec, seeds)
+    parallel = execute_runs(
+        model, spec, seeds,
+        runtime=RuntimeConfig(backend=backend, jobs=2),
+    )
+    assert [run.transactions for run in serial] == [
+        run.transactions for run in parallel
+    ]
+    assert [run.trace for run in serial] == [run.trace for run in parallel]
+
+
+def test_engine_override_beats_params():
+    """run(engine=...) overrides params.engine, and resolves correctly."""
+    spec = _spec(n_recipes=60)
+    model = create_model("CM-R", engine="reference")
+    assert model.resolve_engine() == "reference"
+    assert model.resolve_engine("vectorized") == "vectorized"
+    override = model.run(spec, seed=1, engine="vectorized")
+    vectorized = create_model("CM-R", engine="vectorized").run(spec, seed=1)
+    assert override.transactions == vectorized.transactions
+
+
+def test_unsupported_model_falls_back_to_reference():
+    """CM-V has no vectorized step: a vectorized request degrades."""
+    from repro.models.extensions.variable_size import VariableSizeCopyMutate
+
+    model = VariableSizeCopyMutate(engine="vectorized")
+    assert model.resolve_engine() == "reference"
+    spec = _spec(n_recipes=60)
+    vectorized_request = model.run(spec, seed=4)
+    reference = VariableSizeCopyMutate(engine="reference").run(spec, seed=4)
+    assert vectorized_request.transactions == reference.transactions

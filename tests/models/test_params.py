@@ -44,6 +44,7 @@ def test_derive_invalid_phi():
         {"duplicate_policy": "explode"},
         {"category_fallback": "panic"},
         {"mixture_category_probability": 1.5},
+        {"engine": "quantum"},
     ],
 )
 def test_invalid_params_rejected(kwargs):
@@ -54,6 +55,13 @@ def test_invalid_params_rejected(kwargs):
 def test_with_mutations():
     params = ModelParams(mutations=4).with_mutations(6)
     assert params.mutations == 6
+    assert params.initial_pool_size == 20
+
+
+def test_engine_default_and_with_engine():
+    assert ModelParams().engine == "vectorized"
+    params = ModelParams().with_engine("reference")
+    assert params.engine == "reference"
     assert params.initial_pool_size == 20
 
 

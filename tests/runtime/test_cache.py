@@ -234,3 +234,77 @@ def test_cache_stats_hit_rate():
     assert stats.hit_rate() == 0.0
     stats.hits, stats.misses = 3, 1
     assert stats.hit_rate() == pytest.approx(0.75)
+
+
+def test_engine_distinguishes_cache_keys(tiny_spec):
+    """Reference and vectorized runs must never share a cache entry."""
+    seed = spawn_seeds(ensure_rng(1), 1)[0]
+    reference = run_fingerprint(
+        create_model("CM-R", engine="reference"), tiny_spec, seed
+    )
+    vectorized = run_fingerprint(
+        create_model("CM-R", engine="vectorized"), tiny_spec, seed
+    )
+    assert reference != vectorized
+    # Per-request engine override is keyed too, and a request override
+    # matching the params engine keys identically.
+    overridden = run_fingerprint(
+        create_model("CM-R", engine="vectorized"), tiny_spec, seed,
+        engine="reference",
+    )
+    assert overridden != vectorized
+    assert run_fingerprint(
+        create_model("CM-R", engine="vectorized"), tiny_spec, seed,
+        engine="vectorized",
+    ) == vectorized
+
+
+def test_cached_reference_runs_not_served_to_vectorized(tiny_spec, tmp_path):
+    """End to end: switching engines misses instead of replaying."""
+    cache = RunCache(tmp_path)
+    seeds = spawn_seeds(ensure_rng(2), 3)
+    execute_runs(
+        create_model("CM-R", engine="reference"), tiny_spec, seeds,
+        cache=cache,
+    )
+    assert cache.stats.stores == 3
+    execute_runs(
+        create_model("CM-R", engine="vectorized"), tiny_spec, seeds,
+        cache=cache,
+    )
+    assert cache.stats.hits == 0
+    assert cache.stats.stores == 6
+
+
+def test_prune_older_than_removes_only_stale_entries(tiny_spec, tmp_path):
+    import os
+    import time
+
+    cache = RunCache(tmp_path)
+    model = create_model("CM-R")
+    seeds = spawn_seeds(ensure_rng(1), 4)
+    execute_runs(model, tiny_spec, seeds, cache=cache)
+    paths = sorted(tmp_path.glob("*.run.pkl"))
+    assert len(paths) == 4
+
+    now = time.time()
+    stale = now - 10 * 86400
+    for path in paths[:2]:
+        os.utime(path, (stale, stale))
+    removed = cache.prune_older_than(7 * 86400, now=now)
+    assert removed == 2
+    assert len(cache) == 2
+    # Survivors still serve hits.
+    runs = execute_runs(model, tiny_spec, seeds, cache=cache)
+    assert len(runs) == 4
+    assert cache.stats.hits == 2
+
+
+def test_prune_rejects_negative_age(tmp_path):
+    cache = RunCache(tmp_path)
+    with pytest.raises(RunCacheError):
+        cache.prune_older_than(-1)
+
+
+def test_prune_empty_cache_is_noop(tmp_path):
+    assert RunCache(tmp_path).prune_older_than(0) == 0

@@ -185,3 +185,74 @@ def test_evolve_unknown_region_clean_error(capsys):
     code = main(["evolve", "CM-R", "ATLANTIS", "--scale", "0.02"])
     assert code == 1
     assert "error:" in capsys.readouterr().err
+
+
+def test_evolve_engine_flag(capsys):
+    code = main([
+        "evolve", "CM-R", "KOR", "--scale", "0.05", "--seed", "2",
+        "--runs", "2", "--engine", "reference",
+    ])
+    assert code == 0
+    assert "CM-R on KOR" in capsys.readouterr().out
+
+
+def test_engine_flag_changes_runs_but_not_structure(tmp_path, capsys):
+    """The two engines produce distinct cached runs for the same seed."""
+    cache_dir = tmp_path / "runs"
+    for engine in ("reference", "vectorized"):
+        assert main([
+            "sweep", "--regions", "KOR", "--models", "NM", "--runs", "2",
+            "--scale", "0.02", "--seed", "3", "--engine", engine,
+            "--cache-dir", str(cache_dir),
+        ]) == 0
+    capsys.readouterr()
+    # 2 runs x 2 engines: different keys, so 4 entries, no sharing.
+    assert main(["cache", "stats", str(cache_dir)]) == 0
+    assert "4" in capsys.readouterr().out
+
+
+def test_engine_flag_rejects_unknown():
+    with pytest.raises(SystemExit):
+        main(["evolve", "CM-R", "KOR", "--engine", "warp"])
+
+
+def test_cache_prune_requires_max_age(tmp_path, capsys):
+    assert main(["cache", "prune", str(tmp_path)]) == 2
+    assert "--max-age-days" in capsys.readouterr().err
+
+
+def test_cache_prune_rejects_negative_age(tmp_path, capsys):
+    code = main(["cache", "prune", str(tmp_path), "--max-age-days", "-1"])
+    assert code == 2
+    assert ">= 0" in capsys.readouterr().err
+
+
+def test_cache_prune_missing_directory(tmp_path, capsys):
+    code = main([
+        "cache", "prune", str(tmp_path / "nope"), "--max-age-days", "7",
+    ])
+    assert code == 0
+    assert "nothing to prune" in capsys.readouterr().out
+
+
+def test_cache_prune_roundtrip(tmp_path, capsys):
+    import os
+    import time
+
+    cache_dir = tmp_path / "runs"
+    assert main([
+        "sweep", "--regions", "KOR", "--models", "NM", "--runs", "2",
+        "--scale", "0.02", "--cache-dir", str(cache_dir),
+    ]) == 0
+    capsys.readouterr()
+    entries = sorted(cache_dir.glob("*.run.pkl"))
+    assert len(entries) == 2
+    stale = time.time() - 30 * 86400
+    os.utime(entries[0], (stale, stale))
+
+    assert main([
+        "cache", "prune", str(cache_dir), "--max-age-days", "7",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "pruned 1 cached runs" in out and "(1 kept)" in out
+    assert len(list(cache_dir.glob("*.run.pkl"))) == 1
