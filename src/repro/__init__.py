@@ -25,6 +25,7 @@ models), :mod:`repro.experiments` (per-table/figure drivers),
 
 from repro.analysis import (
     analyze_invariants,
+    available_algorithms,
     combination_curve,
     curve_distance,
     mine_frequent_itemsets,
@@ -76,6 +77,7 @@ from repro.nutrition import (
     nutrition_fitness,
 )
 from repro.runtime import (
+    CurveCache,
     RunCache,
     RuntimeConfig,
     execute_runs,
@@ -89,6 +91,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analyze_invariants",
+    "available_algorithms",
     "combination_curve",
     "curve_distance",
     "mine_frequent_itemsets",
@@ -131,6 +134,7 @@ __all__ = [
     "PAPER_MODELS",
     "create_model",
     "run_ensemble",
+    "CurveCache",
     "RunCache",
     "RuntimeConfig",
     "execute_runs",

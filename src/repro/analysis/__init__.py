@@ -24,11 +24,13 @@ from repro.analysis.itemsets import (
     FrequentItemset,
     MiningResult,
     apriori,
+    available_algorithms,
     bruteforce,
     category_transactions,
     eclat,
     ingredient_transactions,
     mine_frequent_itemsets,
+    register_algorithm,
 )
 from repro.analysis.mae import (
     PairwiseDistances,
@@ -83,11 +85,13 @@ __all__ = [
     "FrequentItemset",
     "MiningResult",
     "apriori",
+    "available_algorithms",
     "bruteforce",
     "category_transactions",
     "eclat",
     "ingredient_transactions",
     "mine_frequent_itemsets",
+    "register_algorithm",
     "PairwiseDistances",
     "curve_distance",
     "pairwise_distance_matrix",

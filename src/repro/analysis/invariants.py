@@ -8,6 +8,7 @@ pairwise Eq. 2 distances quantifying cross-cuisine similarity.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.analysis.itemsets import (
@@ -20,10 +21,58 @@ from repro.analysis.mae import PairwiseDistances, pairwise_distance_matrix
 from repro.analysis.rank_frequency import RankFrequencyCurve, curve_from_mining
 from repro.config import DEFAULT_MINING, MiningConfig
 from repro.corpus.dataset import RecipeDataset
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, RunCacheError
 from repro.lexicon.lexicon import Lexicon
+from repro.runtime.curve_cache import (
+    CurveCache,
+    curve_key,
+    transactions_fingerprint,
+)
 
 __all__ = ["InvariantAnalysis", "analyze_invariants", "combination_curve"]
+
+
+def _mine_cached(
+    transactions: list[frozenset[int]],
+    mining: MiningConfig,
+    level: str,
+    curve_cache: CurveCache | None,
+) -> MiningResult:
+    """Mine transactions, consulting the mined-curve cache when given.
+
+    Empirical callers need the full :class:`MiningResult` (itemset
+    drill-down), so entries store the result object itself under
+    ``kind="mining"`` — distinct from the ensemble path's frequency
+    arrays, sharing the same content-addressed key scheme.
+    """
+    if curve_cache is None:
+        return mine_frequent_itemsets(
+            transactions,
+            min_support=mining.min_support,
+            algorithm=mining.algorithm,
+            max_size=mining.max_size,
+        )
+    key = curve_key(
+        transactions_fingerprint(transactions), mining,
+        level=level, kind="mining",
+    )
+    cached = curve_cache.get(key)
+    if isinstance(cached, MiningResult):
+        # Entries are shared across algorithms (the §6 equality
+        # contract), so restamp the tag with what the caller asked for
+        # rather than reporting whichever miner happened to warm it.
+        return dataclasses.replace(cached, algorithm=mining.algorithm)
+    result = mine_frequent_itemsets(
+        transactions,
+        min_support=mining.min_support,
+        algorithm=mining.algorithm,
+        max_size=mining.max_size,
+    )
+    try:
+        curve_cache.put(key, result)
+    except RunCacheError:
+        pass  # the cache is an optimization; never fail the analysis
+    return result
 
 
 @dataclass(frozen=True)
@@ -70,15 +119,17 @@ def combination_curve(
     lexicon: Lexicon,
     level: str = "ingredient",
     mining: MiningConfig = DEFAULT_MINING,
+    curve_cache: CurveCache | None = None,
 ) -> tuple[RankFrequencyCurve, MiningResult]:
-    """Rank-frequency curve of frequent combinations for one cuisine."""
+    """Rank-frequency curve of frequent combinations for one cuisine.
+
+    With a ``curve_cache``, the mining result is served from disk when
+    the cuisine's transaction content and mining config match a prior
+    call, and stored otherwise — the empirical half of the warm
+    zero-mining path (DESIGN.md §6).
+    """
     transactions = _transactions_for(dataset, region_code, lexicon, level)
-    result = mine_frequent_itemsets(
-        transactions,
-        min_support=mining.min_support,
-        algorithm=mining.algorithm,
-        max_size=mining.max_size,
-    )
+    result = _mine_cached(transactions, mining, level, curve_cache)
     return curve_from_mining(result, region_code), result
 
 
@@ -88,6 +139,7 @@ def analyze_invariants(
     level: str = "ingredient",
     mining: MiningConfig = DEFAULT_MINING,
     distance_kind: str = "absolute",
+    curve_cache: CurveCache | None = None,
 ) -> InvariantAnalysis:
     """Full Fig. 3 analysis at one level.
 
@@ -97,6 +149,9 @@ def analyze_invariants(
         level: ``"ingredient"`` (Fig. 3a) or ``"category"`` (Fig. 3b).
         mining: Mining configuration (paper: min_support=0.05).
         distance_kind: Eq. 2 reading (see :mod:`repro.analysis.mae`).
+        curve_cache: Optional mined-curve cache; per-cuisine and pooled
+            mining results are reused across invocations when the
+            corpus content and mining config are unchanged.
 
     Returns:
         An :class:`InvariantAnalysis`.
@@ -111,7 +166,8 @@ def analyze_invariants(
     results: dict[str, MiningResult] = {}
     for code in codes:
         curve, result = combination_curve(
-            dataset, code, lexicon, level=level, mining=mining
+            dataset, code, lexicon, level=level, mining=mining,
+            curve_cache=curve_cache,
         )
         curves[code] = curve
         results[code] = result
@@ -120,12 +176,7 @@ def analyze_invariants(
     pooled: list[frozenset[int]] = []
     for code in codes:
         pooled.extend(_transactions_for(dataset, code, lexicon, level))
-    pooled_result = mine_frequent_itemsets(
-        pooled,
-        min_support=mining.min_support,
-        algorithm=mining.algorithm,
-        max_size=mining.max_size,
-    )
+    pooled_result = _mine_cached(pooled, mining, level, curve_cache)
     aggregate = curve_from_mining(pooled_result, "ALL")
 
     distances = pairwise_distance_matrix(

@@ -6,6 +6,9 @@ itemsets at relative support 0.05.  Three miners are provided:
 
 * ``eclat`` — vertical tidset intersection, depth-first.  The default;
   fast for the paper's support threshold.
+* ``bitset`` — the same search over numpy packed-bit tidsets with
+  vectorized AND + popcount (:mod:`repro.analysis.itemsets_bitset`,
+  loaded lazily); the fast path for ensemble mining.
 * ``apriori`` — classic level-wise candidate generation over horizontal
   data.  Independent implementation used to cross-check Eclat.
 * ``fpgrowth`` — FP-tree projection mining; fastest on dense data with
@@ -15,11 +18,15 @@ itemsets at relative support 0.05.  Three miners are provided:
 
 All miners return identical results (a property the test-suite enforces).
 Items are integers (lexicon ingredient ids, or category indexes via
-:func:`category_transactions`).
+:func:`category_transactions`).  :func:`available_algorithms` lists the
+registered miner names; :func:`register_algorithm` is the extension seam
+new miners (including the lazily-imported bitset engine) register
+through.
 """
 
 from __future__ import annotations
 
+import importlib
 import math
 from dataclasses import dataclass
 from itertools import combinations
@@ -33,7 +40,9 @@ from repro.lexicon.lexicon import Lexicon
 __all__ = [
     "FrequentItemset",
     "MiningResult",
+    "available_algorithms",
     "mine_frequent_itemsets",
+    "register_algorithm",
     "eclat",
     "apriori",
     "fpgrowth",
@@ -466,6 +475,48 @@ _ALGORITHMS: dict[str, Callable[..., MiningResult]] = {
     "bruteforce": bruteforce,
 }
 
+#: Miners that live in their own module and register on first use, so
+#: importing :mod:`repro.analysis.itemsets` stays cheap.
+_LAZY_ALGORITHMS: dict[str, str] = {
+    "bitset": "repro.analysis.itemsets_bitset",
+}
+
+
+def register_algorithm(
+    name: str, miner: Callable[..., MiningResult]
+) -> None:
+    """Register a miner under ``name`` (the extension seam).
+
+    The callable must accept ``(transactions, min_support, max_size=)``
+    and honor the shared result contract: identical itemsets/supports to
+    the reference miners, sorted by ``(-support, size, items)``.
+    """
+    _ALGORITHMS[name] = miner
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Names of every registered mining algorithm, sorted.
+
+    Forces the lazily-registered miners to load first, so the list is
+    complete regardless of import order.
+    """
+    for module in _LAZY_ALGORITHMS.values():
+        importlib.import_module(module)
+    return tuple(sorted(_ALGORITHMS))
+
+
+def _resolve_algorithm(algorithm: str) -> Callable[..., MiningResult]:
+    miner = _ALGORITHMS.get(algorithm)
+    if miner is None and algorithm in _LAZY_ALGORITHMS:
+        importlib.import_module(_LAZY_ALGORITHMS[algorithm])
+        miner = _ALGORITHMS.get(algorithm)
+    if miner is None:
+        raise MiningError(
+            f"unknown mining algorithm {algorithm!r}; "
+            f"available: {list(available_algorithms())}"
+        )
+    return miner
+
 
 def mine_frequent_itemsets(
     transactions: Iterable[Iterable[int]],
@@ -479,19 +530,15 @@ def mine_frequent_itemsets(
         transactions: Item collections (ingredient ids or category
             indexes).
         min_support: Relative support threshold — the paper uses 0.05.
-        algorithm: ``"eclat"`` (default), ``"apriori"`` or
-            ``"bruteforce"``.
+        algorithm: One of :func:`available_algorithms` — ``"eclat"``
+            (default), ``"bitset"``, ``"apriori"``, ``"fpgrowth"`` or
+            ``"bruteforce"``; all return identical results.
         max_size: Optional cap on itemset size.
 
     Returns:
         A :class:`MiningResult` with itemsets in rank order.
     """
-    miner = _ALGORITHMS.get(algorithm)
-    if miner is None:
-        raise MiningError(
-            f"unknown mining algorithm {algorithm!r}; "
-            f"available: {sorted(_ALGORITHMS)}"
-        )
+    miner = _resolve_algorithm(algorithm)
     return miner(transactions, min_support, max_size=max_size)
 
 

@@ -9,9 +9,10 @@ Subcommands::
     repro resolve     — resolve raw ingredient mentions via the lexicon
     repro report      — run every experiment, write a markdown report
     repro sweep       — execute the model×cuisine run grid in one
-                        sharded pass (and warm the run cache)
+                        sharded pass (and warm the run cache; ``--mine``
+                        also warms the mined-curve cache)
     repro cache       — inspect (`stats`), empty (`clear`), or age-out
-                        (`prune`) a run-cache directory
+                        (`prune`) a cache directory (runs + mined curves)
 
 Every stochastic command accepts ``--seed`` for exact reproducibility.
 Commands that execute model ensembles (``experiment``, ``evolve``,
@@ -19,7 +20,9 @@ Commands that execute model ensembles (``experiment``, ``evolve``,
 ``--jobs N`` (0 = all cores), ``--cache-dir PATH`` and ``--engine
 {reference,vectorized}`` — results are bit-identical across backends for
 a fixed seed (per engine; see DESIGN.md §5), and the run cache lets
-repeated invocations reuse completed runs.
+repeated invocations reuse completed runs.  Mining commands accept
+``--mining-algorithm`` (default ``bitset``, the packed-bit fast path;
+every registered miner returns identical results, see DESIGN.md §6).
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ import sys
 from pathlib import Path
 
 from repro.analysis.invariants import combination_curve
+from repro.analysis.itemsets import available_algorithms
 from repro.analysis.mae import curve_distance
 from repro.config import MiningConfig
 from repro.corpus.io import load_jsonl, save_jsonl
@@ -36,7 +40,7 @@ from repro.corpus.stats import corpus_stats
 from repro.experiments.base import ExperimentContext
 from repro.experiments.registry import available_experiments, run_experiment
 from repro.lexicon.builder import standard_lexicon
-from repro.models.ensemble import run_ensemble
+from repro.models.ensemble import ensemble_curve, run_ensemble
 from repro.models.params import ENGINES, CuisineSpec
 from repro.models.registry import (
     PAPER_MODELS,
@@ -46,6 +50,7 @@ from repro.models.registry import (
 from repro.rng import DEFAULT_SEED
 from repro.runtime import (
     BACKENDS,
+    CurveCache,
     RunCache,
     RuntimeConfig,
     execute_sweep,
@@ -88,6 +93,29 @@ def _runtime_from_args(args: argparse.Namespace) -> RuntimeConfig:
     )
 
 
+def _add_mining_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the frequent-combination mining flags."""
+    parser.add_argument(
+        "--min-support", type=float, default=0.05,
+        help="relative support threshold (paper: 0.05)",
+    )
+    parser.add_argument(
+        "--mining-algorithm", choices=list(available_algorithms()),
+        default="bitset",
+        help=(
+            "frequent-itemset miner (default: bitset, the packed-bit "
+            "fast path; all miners return identical results)"
+        ),
+    )
+
+
+def _mining_from_args(args: argparse.Namespace) -> MiningConfig:
+    """Build the MiningConfig a command's flags describe."""
+    return MiningConfig(
+        min_support=args.min_support, algorithm=args.mining_algorithm
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -118,10 +146,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=DEFAULT_SEED)
     experiment.add_argument("--runs", type=int, default=8,
                             help="model runs per ensemble")
-    experiment.add_argument("--min-support", type=float, default=0.05)
     experiment.add_argument("--regions", nargs="*", default=None)
     experiment.add_argument("--artifacts", type=Path, default=None,
                             help="directory for CSV/JSON artifacts")
+    _add_mining_flags(experiment)
     _add_runtime_flags(experiment)
 
     evolve = sub.add_parser("evolve", help="run one evolution model")
@@ -170,10 +198,24 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=DEFAULT_SEED)
     sweep.add_argument("--runs", type=int, default=8,
                        help="model runs per (model, cuisine) cell")
+    sweep.add_argument(
+        "--mine", action="store_true",
+        help=(
+            "also mine every cell's per-run curves plus each cuisine's "
+            "empirical curve after the sweep, warming the mined-curve "
+            "cache (requires --cache-dir; a repeat sweep or matching "
+            "experiment then performs zero mining calls)"
+        ),
+    )
+    _add_mining_flags(sweep)
     _add_runtime_flags(sweep)
 
     cache = sub.add_parser(
-        "cache", help="inspect, clear, or age-out an on-disk run cache"
+        "cache",
+        help=(
+            "inspect, clear, or age-out an on-disk cache "
+            "(runs and mined curves)"
+        ),
     )
     cache.add_argument("action", choices=("stats", "clear", "prune"))
     cache.add_argument(
@@ -224,7 +266,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         region_codes=tuple(args.regions) if args.regions else None,
-        mining=MiningConfig(min_support=args.min_support),
+        mining=_mining_from_args(args),
         ensemble_runs=args.runs,
         artifacts_dir=args.artifacts,
         runtime=_runtime_from_args(args),
@@ -310,6 +352,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     model_names = tuple(args.models) if args.models else PAPER_MODELS
     runtime = _runtime_from_args(args)
+    if args.mine and runtime.cache_dir is None:
+        # Mining without a cache directory would compute every curve
+        # and drop it on the floor — refuse up front, before any grid
+        # work, rather than waste minutes of CPU.
+        print(
+            "error: sweep --mine requires --cache-dir (the mined "
+            "curves have nowhere to go)",
+            file=sys.stderr,
+        )
+        return 2
     requested = tuple(args.regions) if args.regions else None
     if requested is not None:
         # Typos surface during corpus generation below; duplicates must
@@ -366,10 +418,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{result.elapsed_seconds:.1f}s ({throughput:.1f} runs/s)"
         ),
     ))
+    if args.mine:
+        import time
+
+        mining = _mining_from_args(args)
+        curve_cache = CurveCache(runtime.cache_dir)
+        start = time.perf_counter()
+        for cell_runs in result.cells:
+            ensemble_curve(
+                cell_runs.runs, cell_runs.model_name, mining=mining,
+                runtime=runtime, curve_cache=curve_cache,
+            )
+        # Also warm the empirical (per-cuisine corpus) curves, so a
+        # later `repro experiment fig4` with matching parameters
+        # reaches no miner at all — not just for the model curves.
+        for code in codes:
+            combination_curve(
+                context.dataset, code, context.lexicon,
+                mining=mining, curve_cache=curve_cache,
+            )
+        elapsed = time.perf_counter() - start
+        print(
+            f"mined {len(result.cells)} cells x {args.runs} runs "
+            f"(+ {len(codes)} empirical curves) with "
+            f"{mining.algorithm} @ {mining.min_support:g} support in "
+            f"{elapsed:.1f}s ({curve_cache.stats.misses} mined, "
+            f"{curve_cache.stats.hits} curve-cache hits)"
+        )
     if runtime.cache_dir is not None:
         print(
             f"cache {runtime.cache_dir}: "
-            f"{len(RunCache(runtime.cache_dir))} entries"
+            f"{len(RunCache(runtime.cache_dir))} runs, "
+            f"{len(CurveCache(runtime.cache_dir))} curves"
         )
     return 0
 
@@ -413,30 +493,47 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         else:
             print(f"cache {directory}: no cache directory")
         return 0
-    cache = RunCache(directory)
+    # One directory holds both stores, namespaced by entry suffix.
+    stores: list[tuple[str, RunCache | CurveCache]] = [
+        ("runs", RunCache(directory)),
+        ("curves", CurveCache(directory)),
+    ]
     if args.action == "clear":
-        removed = cache.clear()
-        print(f"removed {removed} cached runs from {directory}")
+        removed = {label: store.clear() for label, store in stores}
+        print(
+            f"removed {removed['runs']} cached runs and "
+            f"{removed['curves']} mined curves from {directory}"
+        )
         return 0
     if args.action == "prune":
-        removed = cache.prune_older_than(args.max_age_days * 86400.0)
-        kept = cache.disk_stats().entries
+        max_age = args.max_age_days * 86400.0
+        removed = {
+            label: store.prune_older_than(max_age) for label, store in stores
+        }
+        kept = sum(store.disk_stats().entries for _label, store in stores)
         print(
-            f"pruned {removed} cached runs older than "
+            f"pruned {removed['runs']} cached runs and "
+            f"{removed['curves']} mined curves older than "
             f"{args.max_age_days:g} days from {directory} ({kept} kept)"
         )
         return 0
-    stats = cache.disk_stats()
     now = time.time()
-    rows: list[tuple[str, str]] = [
-        ("entries", str(stats.entries)),
-        ("total size", _format_bytes(stats.total_bytes)),
-    ]
-    if stats.oldest_mtime is not None and stats.newest_mtime is not None:
-        rows.append(("oldest entry", f"{_format_age(now - stats.oldest_mtime)} ago"))
-        rows.append(("newest entry", f"{_format_age(now - stats.newest_mtime)} ago"))
+    rows: list[tuple[str, str, str]] = []
+    for label, store in stores:
+        stats = store.disk_stats()
+        rows.append((label, "entries", str(stats.entries)))
+        rows.append((label, "total size", _format_bytes(stats.total_bytes)))
+        if stats.oldest_mtime is not None and stats.newest_mtime is not None:
+            rows.append((
+                label, "oldest entry",
+                f"{_format_age(now - stats.oldest_mtime)} ago",
+            ))
+            rows.append((
+                label, "newest entry",
+                f"{_format_age(now - stats.newest_mtime)} ago",
+            ))
     print(render_table(
-        ("Quantity", "Value"), rows, title=f"Run cache {directory}"
+        ("Store", "Quantity", "Value"), rows, title=f"Cache {directory}"
     ))
     return 0
 

@@ -104,14 +104,16 @@ def _mean_model_distance(
         seed=context.seed,
     )
     sweep = execute_sweep(plan, runtime=context.runtime)
+    curve_cache = context.curve_cache()
     distances = []
     for code in region_codes:
         empirical, _mining_result = combination_curve(
-            context.dataset, code, context.lexicon, mining=mining
+            context.dataset, code, context.lexicon, mining=mining,
+            curve_cache=curve_cache,
         )
         curve = ensemble_curve(
             sweep.runs_for(model_name, code), model_name, mining=mining,
-            runtime=context.runtime,
+            runtime=context.runtime, curve_cache=curve_cache,
         )
         distances.append(curve_distance(empirical, curve))
     return float(np.mean(distances))
@@ -168,6 +170,7 @@ def run_ablation_minsup(
     values: tuple[float, ...] = (0.02, 0.05, 0.08, 0.12),
 ) -> AblationResult:
     """Sweep the support threshold defining "frequent" combinations."""
+    curve_cache = context.curve_cache()
     rows = []
     for min_support in values:
         mining = MiningConfig(
@@ -176,7 +179,8 @@ def run_ablation_minsup(
             algorithm=context.mining.algorithm,
         )
         analysis = analyze_invariants(
-            context.dataset, context.lexicon, level="ingredient", mining=mining
+            context.dataset, context.lexicon, level="ingredient",
+            mining=mining, curve_cache=curve_cache,
         )
         mean_len = float(
             np.mean([len(curve) for curve in analysis.curves.values()])
@@ -224,17 +228,19 @@ def run_ablation_null_sampling(
         seed=context.seed,
     )
     sweep = execute_sweep(plan, runtime=context.runtime)
+    curve_cache = context.curve_cache()
     rows = []
     for cuisine_index, code in enumerate(region_codes):
         empirical, _mining_result = combination_curve(
-            context.dataset, code, context.lexicon, mining=context.mining
+            context.dataset, code, context.lexicon, mining=context.mining,
+            curve_cache=curve_cache,
         )
         row: list[object] = [code]
         for column, model in enumerate(models):
             cell = sweep.cells[len(models) * cuisine_index + column]
             curve = ensemble_curve(
                 cell.runs, model.name, mining=context.mining,
-                runtime=context.runtime,
+                runtime=context.runtime, curve_cache=curve_cache,
             )
             row.append(f"{curve_distance(empirical, curve):.4f}")
         rows.append(tuple(row))
@@ -263,15 +269,17 @@ def run_ablation_metric(
         seed=context.seed,
     )
     sweep = execute_sweep(plan, runtime=context.runtime)
+    curve_cache = context.curve_cache()
     rows = []
     for code in region_codes:
         empirical, _mining_result = combination_curve(
-            context.dataset, code, context.lexicon, mining=context.mining
+            context.dataset, code, context.lexicon, mining=context.mining,
+            curve_cache=curve_cache,
         )
         model_curves = {
             name: ensemble_curve(
                 sweep.runs_for(name, code), name, mining=context.mining,
-                runtime=context.runtime,
+                runtime=context.runtime, curve_cache=curve_cache,
             )
             for name in PAPER_MODELS
         }

@@ -20,7 +20,7 @@ from repro.errors import ExperimentError
 from repro.lexicon.builder import standard_lexicon
 from repro.lexicon.lexicon import Lexicon
 from repro.rng import DEFAULT_SEED
-from repro.runtime import RuntimeConfig
+from repro.runtime import CurveCache, RuntimeConfig
 from repro.synthesis.worldgen import WorldKitchen
 
 __all__ = ["ExperimentContext", "ExperimentResultProtocol"]
@@ -130,6 +130,17 @@ class ExperimentContext:
     def with_runtime(self, runtime: RuntimeConfig) -> "ExperimentContext":
         """Copy of this context executing through a different runtime."""
         return replace(self, runtime=runtime)
+
+    def curve_cache(self) -> CurveCache | None:
+        """The mined-curve cache this context's runtime implies.
+
+        ``None`` without a ``runtime.cache_dir``.  One instance per call
+        so drivers can read its hit/miss stats for exactly their own
+        lookups; every instance shares the same on-disk store.
+        """
+        if self.runtime.cache_dir is None:
+            return None
+        return CurveCache(self.runtime.cache_dir)
 
     def artifact_path(self, name: str) -> Path | None:
         """Path for an artifact file, or ``None`` if writing is disabled."""

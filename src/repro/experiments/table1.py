@@ -131,7 +131,11 @@ def run_table1(
         )
 
     codes = select_regions(context.dataset.region_codes(), region_codes)
-    rows = parallel_map(row_for, codes, runtime=context.runtime)
+    # The row closure is shared-memory analysis over the context —
+    # declared thread-bound so a process runtime does not warn.
+    rows = parallel_map(
+        row_for, codes, runtime=context.runtime, prefer_thread=True
+    )
     result = Table1Result(rows=tuple(rows), scale=context.scale)
     path = context.artifact_path("table1.csv")
     if path is not None:

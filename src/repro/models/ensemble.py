@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.analysis.itemsets import (
     CATEGORY_INDEX,
     mine_frequent_itemsets,
@@ -20,17 +22,26 @@ from repro.analysis.rank_frequency import (
     curve_from_mining,
 )
 from repro.config import DEFAULT_MINING, MiningConfig, PAPER
-from repro.errors import ModelError
+from repro.errors import ModelError, RunCacheError
 from repro.lexicon.lexicon import Lexicon
 from repro.models.base import CulinaryEvolutionModel, EvolutionRun
 from repro.models.params import CuisineSpec
 from repro.rng import SeedLike, ensure_rng, spawn_seeds
-from repro.runtime import RuntimeConfig, execute_runs, parallel_map
+from repro.runtime import (
+    CurveCache,
+    RuntimeConfig,
+    curve_key,
+    execute_runs,
+    parallel_map,
+    transactions_fingerprint,
+)
 
 __all__ = [
+    "CurveMiningTask",
     "EnsembleResult",
     "aggregate_ensemble",
     "ensemble_curve",
+    "mine_curve_task",
     "run_ensemble",
 ]
 
@@ -69,6 +80,43 @@ def _category_transactions(
     ]
 
 
+@dataclass(frozen=True)
+class CurveMiningTask:
+    """One run's mining work, as a pure, picklable payload.
+
+    Everything :func:`mine_curve_task` needs crosses the process
+    boundary inside this dataclass — no closure state — which is what
+    keeps :func:`ensemble_curve`'s fan-out on the true ``process``
+    backend instead of degrading to GIL-bound threads.
+
+    Attributes:
+        transactions: The transactions to mine (level conversion already
+            applied by the caller).
+        mining: Support/size/algorithm configuration.
+        label: Per-run curve label (``"<model>#<index>"``).
+    """
+
+    transactions: tuple[frozenset[int], ...]
+    mining: MiningConfig
+    label: str
+
+
+def mine_curve_task(task: CurveMiningTask) -> RankFrequencyCurve:
+    """Mine one task into a rank-frequency curve.
+
+    Module-level by design: the process backend pickles this function by
+    reference and the task by value (see
+    :func:`~repro.runtime.runner.parallel_map`).
+    """
+    result = mine_frequent_itemsets(
+        task.transactions,
+        min_support=task.mining.min_support,
+        algorithm=task.mining.algorithm,
+        max_size=task.mining.max_size,
+    )
+    return curve_from_mining(result, task.label)
+
+
 def ensemble_curve(
     runs: tuple[EvolutionRun, ...] | list[EvolutionRun],
     label: str,
@@ -76,41 +124,83 @@ def ensemble_curve(
     level: str = "ingredient",
     lexicon: Lexicon | None = None,
     runtime: RuntimeConfig | None = None,
+    curve_cache: CurveCache | None = None,
 ) -> RankFrequencyCurve:
     """Aggregate runs into one rank-frequency curve at the given level.
 
     Per-run mining fans out through
-    :func:`~repro.runtime.runner.parallel_map` when a parallel
-    ``runtime`` is configured.  The map preserves run order, so the
+    :func:`~repro.runtime.runner.parallel_map` as module-level
+    :func:`mine_curve_task` calls over :class:`CurveMiningTask`
+    payloads, so ``backend="process"`` stays process-parallel (the old
+    closure degraded to threads).  The map preserves run order, so the
     averaged curve is identical to the serial path on every backend.
-    Note the fan-out is thread-based even under ``backend="process"``
-    (the mining closure cannot cross process boundaries), so the
-    pure-Python miner remains GIL-bound; the seam exists so a picklable
-    miner or a GIL-releasing implementation scales without touching
-    callers.
+
+    When a curve cache is available (explicitly, or built from
+    ``runtime.cache_dir``), each run's mined frequencies are served from
+    disk when present and written back when mined, keyed by the exact
+    transaction content plus the mining config — a warm invocation
+    performs zero mining calls (DESIGN.md §6).
     """
     if not runs:
         raise ModelError("cannot aggregate zero runs")
     if level == "category" and lexicon is None:
         raise ModelError("category-level aggregation requires a lexicon")
+    config = runtime if runtime is not None else RuntimeConfig()
+    if curve_cache is None and config.cache_dir is not None:
+        curve_cache = CurveCache(config.cache_dir)
 
-    def _mine_one(indexed: tuple[int, EvolutionRun]) -> RankFrequencyCurve:
-        index, run = indexed
-        transactions = (
-            run.transactions
-            if level == "ingredient"
-            else _category_transactions(run, lexicon)  # type: ignore[arg-type]
-        )
-        result = mine_frequent_itemsets(
-            transactions,
-            min_support=mining.min_support,
-            algorithm=mining.algorithm,
-            max_size=mining.max_size,
-        )
-        return curve_from_mining(result, f"{label}#{index}")
+    per_run = [
+        run.transactions
+        if level == "ingredient"
+        else _category_transactions(run, lexicon)  # type: ignore[arg-type]
+        for run in runs
+    ]
+    curves: list[RankFrequencyCurve | None] = [None] * len(runs)
+    keys: list[str] | None = None
+    pending = list(range(len(runs)))
+    if curve_cache is not None:
+        keys = [
+            curve_key(
+                transactions_fingerprint(transactions), mining, level=level
+            )
+            for transactions in per_run
+        ]
+        pending = []
+        for index, key in enumerate(keys):
+            frequencies = curve_cache.get(key)
+            # Guard the payload type: an entry that unpickles to the
+            # wrong shape (layout drift, damaged file) is a miss to
+            # re-mine, not a crash.
+            if (
+                isinstance(frequencies, np.ndarray)
+                and frequencies.ndim == 1
+            ):
+                curves[index] = RankFrequencyCurve(
+                    f"{label}#{index}", frequencies
+                )
+            else:
+                pending.append(index)
 
-    curves = parallel_map(_mine_one, list(enumerate(runs)), runtime=runtime)
-    return average_curves(curves, label)
+    if pending:
+        tasks = [
+            CurveMiningTask(
+                transactions=tuple(per_run[index]),
+                mining=mining,
+                label=f"{label}#{index}",
+            )
+            for index in pending
+        ]
+        mined = parallel_map(mine_curve_task, tasks, runtime=config)
+        for index, curve in zip(pending, mined):
+            curves[index] = curve
+            if curve_cache is not None and keys is not None:
+                # Same policy as the run cache: a write failure must
+                # never discard mined results; stop writing instead.
+                try:
+                    curve_cache.put(keys[index], curve.frequencies)
+                except RunCacheError:
+                    curve_cache = None
+    return average_curves(curves, label)  # type: ignore[arg-type]
 
 
 def aggregate_ensemble(
@@ -121,6 +211,7 @@ def aggregate_ensemble(
     lexicon: Lexicon | None = None,
     include_category_level: bool = False,
     runtime: RuntimeConfig | None = None,
+    curve_cache: CurveCache | None = None,
 ) -> EnsembleResult:
     """Aggregate completed runs into an :class:`EnsembleResult`.
 
@@ -129,19 +220,21 @@ def aggregate_ensemble(
     :class:`~repro.runtime.sweep.SweepResult` cells, a cache replay —
     produce byte-identical ensembles to the run-and-aggregate path.
     Per-run mining respects the ``runtime`` fan-out (order-preserving,
-    so results do not depend on the backend).
+    so results do not depend on the backend) and the mined-curve cache
+    (explicit, or built from ``runtime.cache_dir``).
     """
     if not runs:
         raise ModelError("cannot aggregate an ensemble of zero runs")
     runs = tuple(runs)
     ingredient_curve = ensemble_curve(
-        runs, model_name, mining=mining, level="ingredient", runtime=runtime
+        runs, model_name, mining=mining, level="ingredient", runtime=runtime,
+        curve_cache=curve_cache,
     )
     category_curve = None
     if include_category_level:
         category_curve = ensemble_curve(
             runs, model_name, mining=mining, level="category",
-            lexicon=lexicon, runtime=runtime,
+            lexicon=lexicon, runtime=runtime, curve_cache=curve_cache,
         )
     return EnsembleResult(
         model_name=model_name,

@@ -15,6 +15,10 @@ swappable concern:
 * :mod:`~repro.runtime.cache` — an on-disk run cache keyed by
   ``(model, params, cuisine, seed)`` shared across backends and
   invocations;
+* :mod:`~repro.runtime.curve_cache` — a content-addressed cache of
+  mined rank-frequency curves layered beside the run cache (same
+  directory, distinct entry suffix), so warm sweeps and experiments
+  skip re-mining entirely (DESIGN.md §6);
 * :mod:`~repro.runtime.sweep` — the grid sweep planner: expand a full
   (model × cuisine × seed) grid into one flat request list, shard it
   across the backend in a single pass, and merge results back into
@@ -30,11 +34,18 @@ from repro.runtime.cache import (
     CACHE_FORMAT_VERSION,
     CacheDiskStats,
     CacheStats,
+    PickleStore,
     RunCache,
     fingerprint_many,
     run_fingerprint,
 )
 from repro.runtime.config import BACKENDS, RuntimeConfig
+from repro.runtime.curve_cache import (
+    CURVE_FORMAT_VERSION,
+    CurveCache,
+    curve_key,
+    transactions_fingerprint,
+)
 from repro.runtime.executor import (
     Executor,
     ProcessExecutor,
@@ -43,7 +54,11 @@ from repro.runtime.executor import (
     get_executor,
 )
 from repro.runtime.runner import (
+    BackendDegradation,
+    BackendDegradationWarning,
     RunRequest,
+    backend_degradations,
+    clear_backend_degradations,
     execute_request,
     execute_runs,
     parallel_map,
@@ -61,11 +76,16 @@ from repro.runtime.sweep import (
 
 __all__ = [
     "BACKENDS",
+    "BackendDegradation",
+    "BackendDegradationWarning",
     "CACHE_FORMAT_VERSION",
+    "CURVE_FORMAT_VERSION",
     "CacheDiskStats",
     "CacheStats",
     "CellRuns",
+    "CurveCache",
     "Executor",
+    "PickleStore",
     "ProcessExecutor",
     "RunCache",
     "RunRequest",
@@ -75,6 +95,9 @@ __all__ = [
     "SweepPlan",
     "SweepResult",
     "ThreadExecutor",
+    "backend_degradations",
+    "clear_backend_degradations",
+    "curve_key",
     "execute_request",
     "execute_runs",
     "execute_sweep",
@@ -85,4 +108,5 @@ __all__ = [
     "plan_grid",
     "run_fingerprint",
     "select_regions",
+    "transactions_fingerprint",
 ]

@@ -12,6 +12,12 @@ and share runs across invocations.
 Writes are atomic (temp file + :func:`os.replace`), so a cache directory
 can be shared by concurrent workers; unreadable entries are treated as
 misses and cleaned up rather than raised.
+
+The storage mechanics live in :class:`PickleStore` so sibling stores can
+share one directory, distinguished by entry suffix: :class:`RunCache`
+(``*.run.pkl``, this module) holds simulation outputs, and
+:class:`~repro.runtime.curve_cache.CurveCache` (``*.curve.pkl``) holds
+mined rank-frequency curves layered on top of them.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ import os
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, ClassVar, Mapping, Sequence
 
 import numpy as np
 
@@ -38,6 +44,7 @@ __all__ = [
     "CACHE_FORMAT_VERSION",
     "CacheDiskStats",
     "CacheStats",
+    "PickleStore",
     "RunCache",
     "fingerprint_many",
     "run_fingerprint",
@@ -204,17 +211,35 @@ class CacheStats:
         return self.hits / self.requests if self.requests else 0.0
 
 
-class RunCache:
-    """A directory of pickled runs keyed by :func:`run_fingerprint`.
+class PickleStore:
+    """A directory of pickled payloads keyed by SHA-256 hex strings.
+
+    The shared mechanics of every on-disk store in the runtime: atomic
+    writes, corrupt-entry eviction, hit/miss accounting, disk stats,
+    clearing and age-based pruning.  Subclasses pick the entry suffix
+    (so several stores can share one directory without colliding) and
+    document what their payloads are.
 
     Args:
-        directory: Cache root; created (with parents) if missing.
+        directory: Store root; created (with parents) if missing.
 
     Raises:
-        RunCacheError: If the path exists but is not a directory.
+        RunCacheError: If the path exists but is not a directory, or
+            the class declares no entry suffix (the base class is not
+            directly usable — a generic ``*.pkl`` glob would match and
+            clear *every* sibling store's entries).
     """
 
+    #: Entry filename suffix — namespaces this store within a shared
+    #: cache directory.  Subclasses must override with a unique value.
+    suffix: ClassVar[str] = ""
+
     def __init__(self, directory: str | Path):
+        if not self.suffix:
+            raise RunCacheError(
+                f"{type(self).__name__} declares no entry suffix; "
+                "subclass PickleStore and set a unique `suffix`"
+            )
         self.directory = Path(directory)
         if self.directory.exists() and not self.directory.is_dir():
             raise RunCacheError(
@@ -225,10 +250,10 @@ class RunCache:
 
     def path_for(self, key: str) -> Path:
         """On-disk location of one cache entry."""
-        return self.directory / f"{key}.run.pkl"
+        return self.directory / f"{key}{self.suffix}"
 
-    def get(self, key: str) -> "EvolutionRun | None":
-        """Load a cached run, or ``None`` on miss.
+    def get(self, key: str) -> object | None:
+        """Load a cached payload, or ``None`` on miss.
 
         Corrupt or unreadable entries count as misses and are removed so
         they do not poison every future lookup.
@@ -236,7 +261,7 @@ class RunCache:
         path = self.path_for(key)
         try:
             with path.open("rb") as handle:
-                run = pickle.load(handle)
+                payload = pickle.load(handle)
         except FileNotFoundError:
             self.stats.misses += 1
             return None
@@ -249,15 +274,15 @@ class RunCache:
                 pass
             return None
         self.stats.hits += 1
-        return run
+        return payload
 
-    def put(self, key: str, run: "EvolutionRun") -> None:
-        """Store a run atomically (safe under concurrent writers)."""
+    def put(self, key: str, payload: object) -> None:
+        """Store a payload atomically (safe under concurrent writers)."""
         path = self.path_for(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
             with tmp.open("wb") as handle:
-                pickle.dump(run, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except (OSError, pickle.PicklingError) as exc:
             try:
@@ -268,7 +293,7 @@ class RunCache:
         self.stats.stores += 1
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.run.pkl"))
+        return sum(1 for _ in self.directory.glob(f"*{self.suffix}"))
 
     def disk_stats(self) -> CacheDiskStats:
         """Entry count, byte total and age bounds of the directory.
@@ -280,7 +305,7 @@ class RunCache:
         total_bytes = 0
         oldest: float | None = None
         newest: float | None = None
-        for path in self.directory.glob("*.run.pkl"):
+        for path in self.directory.glob(f"*{self.suffix}"):
             try:
                 stat = path.stat()
             except OSError:
@@ -301,7 +326,7 @@ class RunCache:
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0
-        for path in self.directory.glob("*.run.pkl"):
+        for path in self.directory.glob(f"*{self.suffix}"):
             try:
                 path.unlink()
                 removed += 1
@@ -343,7 +368,7 @@ class RunCache:
             now = time.time()
         cutoff = now - max_age_seconds
         removed = 0
-        for path in self.directory.glob("*.run.pkl"):
+        for path in self.directory.glob(f"*{self.suffix}"):
             try:
                 if path.stat().st_mtime < cutoff:
                     path.unlink()
@@ -351,3 +376,22 @@ class RunCache:
             except OSError:
                 continue
         return removed
+
+
+class RunCache(PickleStore):
+    """A directory of pickled runs keyed by :func:`run_fingerprint`.
+
+    Payloads are complete :class:`~repro.models.base.EvolutionRun`
+    objects — a run is a pure function of ``(model, spec, seed,
+    record_history, engine)``, so its key covers exactly those inputs.
+    """
+
+    suffix = ".run.pkl"
+
+    def get(self, key: str) -> "EvolutionRun | None":
+        """Load a cached run, or ``None`` on miss."""
+        return super().get(key)  # type: ignore[return-value]
+
+    def put(self, key: str, run: "EvolutionRun") -> None:
+        """Store a run atomically (safe under concurrent writers)."""
+        super().put(key, run)

@@ -1,0 +1,180 @@
+"""On-disk cache of mined rank-frequency curves (the mining fast path).
+
+Mining is a pure function of ``(transactions, mining config)``: the same
+recipe pool mined at the same support always yields the same frequent
+itemsets, whatever produced the pool and whichever registered miner ran.
+That makes mined curves content-addressable — the key is a SHA-256 over
+
+* a fingerprint of the exact transactions mined
+  (:func:`transactions_fingerprint`; order-sensitive across
+  transactions, order-insensitive within one),
+* the output-relevant mining configuration (support threshold, size
+  cap — *not* the algorithm, which by contract cannot change the
+  result),
+* the payload kind (aggregated frequencies vs a full
+  :class:`~repro.analysis.itemsets.MiningResult`), and
+* :data:`CURVE_FORMAT_VERSION`.
+
+A :class:`CurveCache` shares its directory with the
+:class:`~repro.runtime.cache.RunCache` (entries are namespaced by
+suffix), so one ``--cache-dir`` warms both layers: the run cache skips
+simulation, the curve cache skips re-mining — a warm
+``repro experiment fig4`` performs zero mining calls.
+
+Content addressing means invalidation is automatic: a different seed,
+engine, model parameter or corpus produces different transactions and
+therefore a different key; a changed mining config changes the key
+directly.  Because every run is bit-identical across backends
+(DESIGN.md §5), a curve cache warmed by a process-parallel sweep is
+reused verbatim by a serial rerun.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from itertools import chain
+from typing import Iterable
+
+import numpy as np
+
+from repro.config import MiningConfig
+from repro.runtime.cache import PickleStore
+
+__all__ = [
+    "CURVE_FORMAT_VERSION",
+    "CurveCache",
+    "curve_key",
+    "transactions_fingerprint",
+]
+
+#: Bump when the key layout or the pickled payload layout changes; old
+#: entries then miss instead of deserializing garbage.
+CURVE_FORMAT_VERSION = 1
+
+
+def _mix64(values: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer — a bijective 64-bit scramble."""
+    x = values + np.uint64(0x9E3779B97F4A7C15)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x
+
+
+def transactions_fingerprint(
+    transactions: Iterable[Iterable[int]],
+) -> str:
+    """SHA-256 over the exact transaction content to be mined.
+
+    Transactions are hashed in order (run results are ordered); within
+    a transaction the combination is order-insensitive (they are sets,
+    and set iteration order is not content-deterministic).  Two pools
+    with equal content — whatever model, seed or backend produced them
+    — share a fingerprint, which is exactly when their mined curves
+    coincide.
+
+    Hot path: one flat pass collects every item, a vectorized
+    splitmix64 scramble is summed per transaction (commutative, so
+    iteration order cannot leak in), and SHA-256 runs over the length
+    and digest arrays — two ``tobytes`` calls for a paper-scale pool
+    instead of per-transaction Python encoding.  An accidental
+    collision needs two *different* transactions at the same position
+    whose scrambled-item sums agree, a ~2^-64 event; items beyond
+    int64 range (or non-int items) fall back to a JSON encoding of the
+    sorted transactions.
+    """
+    data = (
+        transactions
+        if isinstance(transactions, (list, tuple))
+        else list(transactions)
+    )
+    hasher = hashlib.sha256()
+    try:
+        lengths = np.fromiter(
+            (len(transaction) for transaction in data),
+            dtype="<i8",
+            count=len(data),
+        )
+        flat = np.fromiter(
+            chain.from_iterable(data),
+            dtype="<i8",
+            count=int(lengths.sum()),
+        )
+    except (OverflowError, ValueError):  # items beyond int64 / non-int
+        encoded = [sorted(transaction) for transaction in data]
+        hasher.update(json.dumps(encoded, separators=(",", ":")).encode())
+        return hasher.hexdigest()
+    with np.errstate(over="ignore"):
+        mixed = _mix64(flat.view("<u8"))
+        sums = np.zeros(len(data), dtype="<u8")
+        nonzero = lengths > 0
+        if flat.size:
+            # Consecutive nonzero segment starts delimit exactly the
+            # per-transaction slices (empty segments have zero width).
+            starts = (np.cumsum(lengths) - lengths)[nonzero]
+            sums[nonzero] = np.add.reduceat(mixed, starts.astype(np.intp))
+        digests = _mix64(sums ^ _mix64(lengths.view("<u8")))
+    hasher.update(lengths.tobytes())
+    hasher.update(digests.tobytes())
+    return hasher.hexdigest()
+
+
+def curve_key(
+    transactions_fp: str,
+    mining: MiningConfig,
+    level: str = "ingredient",
+    kind: str = "frequencies",
+) -> str:
+    """Cache key for one mined curve.
+
+    The key covers every input that changes the *output* of mining:
+    the transaction content, the support threshold and the size cap.
+    ``mining.algorithm`` is deliberately excluded — every registered
+    miner returns identical results (the equality contract of
+    DESIGN.md §6, pinned in ``tests/analysis/test_itemsets_bitset.py``)
+    — so a cache warmed with one miner serves every other, e.g. a CLI
+    ``bitset`` sweep warms a library caller on the ``eclat`` default.
+
+    Args:
+        transactions_fp: :func:`transactions_fingerprint` of the mined
+            transactions.
+        mining: Mining configuration; a change to ``min_support`` or
+            ``max_size`` keys a different entry.
+        level: ``"ingredient"`` or ``"category"`` — recorded for
+            observability even though the level conversion is already
+            baked into the transaction content.
+        kind: Payload kind: ``"frequencies"`` (a float ndarray, the
+            ensemble path) or ``"mining"`` (a pickled
+            :class:`~repro.analysis.itemsets.MiningResult`, the
+            empirical path).  Distinct kinds must never alias.
+    """
+    payload = {
+        "version": CURVE_FORMAT_VERSION,
+        "kind": kind,
+        "transactions": transactions_fp,
+        "level": level,
+        "mining": {
+            "min_support": mining.min_support,
+            "max_size": mining.max_size,
+        },
+    }
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+class CurveCache(PickleStore):
+    """A directory of mined-curve payloads keyed by :func:`curve_key`.
+
+    Payloads are either 1-D float arrays of descending normalized
+    frequencies (ensemble per-run curves; labels are reattached by the
+    caller, so one entry serves every labeling) or full
+    :class:`~repro.analysis.itemsets.MiningResult` objects (empirical
+    curves, whose callers also need the itemsets).  Shares its directory
+    with :class:`~repro.runtime.cache.RunCache` — entries are
+    namespaced by the ``.curve.pkl`` suffix.
+    """
+
+    suffix = ".curve.pkl"

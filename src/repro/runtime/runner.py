@@ -17,6 +17,8 @@ front).  Determinism is structural rather than incidental:
 
 from __future__ import annotations
 
+import pickle
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
@@ -30,10 +32,103 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.models.base import CulinaryEvolutionModel, EvolutionRun
     from repro.models.params import CuisineSpec
 
-__all__ = ["RunRequest", "execute_request", "execute_runs", "parallel_map"]
+__all__ = [
+    "BackendDegradation",
+    "BackendDegradationWarning",
+    "RunRequest",
+    "backend_degradations",
+    "clear_backend_degradations",
+    "execute_request",
+    "execute_runs",
+    "parallel_map",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class BackendDegradationWarning(UserWarning):
+    """Emitted when a ``process`` map silently ran on threads instead."""
+
+
+@dataclass(frozen=True)
+class BackendDegradation:
+    """A recorded backend degradation event.
+
+    Attributes:
+        callable_name: Qualified name of the offending callable.
+        requested: Backend the caller asked for.
+        effective: Backend the map actually ran on.
+        reason: Why the requested backend was unusable (the pickling
+            error, verbatim).
+    """
+
+    callable_name: str
+    requested: str
+    effective: str
+    reason: str
+
+
+#: Degradations observed in this process, one entry per distinct
+#: callable — the structured record behind the one-time warning.
+_DEGRADATIONS: dict[str, BackendDegradation] = {}
+
+
+def backend_degradations() -> tuple[BackendDegradation, ...]:
+    """Every backend degradation recorded so far, in observation order."""
+    return tuple(_DEGRADATIONS.values())
+
+
+def clear_backend_degradations() -> None:
+    """Reset the degradation record (tests; long-lived services)."""
+    _DEGRADATIONS.clear()
+
+
+def _callable_name(fn: Callable) -> str:
+    return (
+        f"{getattr(fn, '__module__', '?')}."
+        f"{getattr(fn, '__qualname__', repr(fn))}"
+    )
+
+
+def _record_degradation(fn: Callable, reason: str) -> None:
+    """Record a process→thread degradation and warn once per callable."""
+    name = _callable_name(fn)
+    if name in _DEGRADATIONS:
+        return
+    _DEGRADATIONS[name] = BackendDegradation(
+        callable_name=name,
+        requested="process",
+        effective="thread",
+        reason=reason,
+    )
+    warnings.warn(
+        f"parallel_map degraded backend='process' to threads for "
+        f"{name}: {reason}; pass a module-level function over "
+        f"picklable payloads to keep process parallelism",
+        BackendDegradationWarning,
+        stacklevel=3,
+    )
+
+
+def _pickling_blocker(fn: Callable, probe_item: object) -> str | None:
+    """Why this map cannot cross a process boundary, or ``None`` if it can.
+
+    Probes the callable and the first work item (maps are near-always
+    homogeneous), so both closure callables *and* module-level callables
+    over unpicklable payloads degrade to threads instead of blowing up
+    inside the pool — the pre-degradation behavior every caller of
+    :func:`parallel_map` could rely on.
+    """
+    try:
+        pickle.dumps(fn)
+    except Exception as exc:  # pickle raises a zoo of types here
+        return f"callable does not pickle ({type(exc).__name__}: {exc})"
+    try:
+        pickle.dumps(probe_item)
+    except Exception as exc:
+        return f"work item does not pickle ({type(exc).__name__}: {exc})"
+    return None
 
 
 @dataclass(frozen=True)
@@ -186,18 +281,58 @@ def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T] | Iterable[T],
     runtime: RuntimeConfig | None = None,
+    prefer_thread: bool = False,
 ) -> list[R]:
-    """Order-preserving map for arbitrary (closure-friendly) callables.
+    """Order-preserving map that honors ``process`` for picklable work.
 
-    Experiment drivers use this for per-cuisine fan-out where the work
-    is a closure over the experiment context.  Closures cannot cross
-    process boundaries, so the ``process`` backend degrades to threads
-    here; model runs — the actual hot path — go through
-    :func:`execute_runs`, which is fully process-parallel.
+    Module-level callables over picklable payloads — e.g. the per-run
+    mining tasks of :func:`~repro.models.ensemble.ensemble_curve` — run
+    truly process-parallel under ``backend="process"``.  Work that
+    cannot cross a process boundary (closure/lambda callables — probed
+    up front together with the first item — or a later item/result
+    that fails to pickle mid-map) degrades to the thread backend; the
+    degradation is no longer silent: a one-time
+    :class:`BackendDegradationWarning` names the callable and the
+    pickling error, and the event is recorded
+    (:func:`backend_degradations`).  Map work must therefore be
+    effect-free: the mid-map fallback re-runs the whole batch on
+    threads (exactly what every call did before process support).
+
+    Args:
+        fn: The mapped callable.  Must be module-level (and its items
+            picklable) for the process backend to apply.
+        items: Work items, order defines result order on every backend.
+        runtime: Backend/jobs selection; ``None`` = serial.
+        prefer_thread: Caller declares ``fn`` closure-bound up front —
+            ``process`` requests run on threads without the warning.
+            For fan-outs whose work is cheap shared-memory analysis
+            (per-cuisine table rows), where threads are the intended
+            backend and a warning would be noise.
     """
     config = runtime if runtime is not None else RuntimeConfig()
-    if config.backend == "process":
-        config = RuntimeConfig(
+    if config.backend == "process" and config.resolve_jobs() > 1:
+        items = list(items)
+        thread_config = RuntimeConfig(
             backend="thread", jobs=config.jobs, cache_dir=config.cache_dir
         )
+        if prefer_thread:
+            return get_executor(thread_config).map(fn, items)
+        reason = _pickling_blocker(fn, items[0]) if items else None
+        if reason is not None:
+            _record_degradation(fn, reason)
+            return get_executor(thread_config).map(fn, items)
+        try:
+            return get_executor(config).map(fn, items)
+        except (pickle.PicklingError, AttributeError) as exc:
+            # Safety net for what the first-item probe cannot see:
+            # heterogeneous item lists or unpicklable *results*.  Map
+            # work is effect-free by contract (it always ran whole on
+            # threads before process support), so re-running the full
+            # batch on threads is safe.
+            _record_degradation(
+                fn,
+                f"map failed to cross the process boundary "
+                f"({type(exc).__name__}: {exc})",
+            )
+            return get_executor(thread_config).map(fn, items)
     return get_executor(config).map(fn, items)

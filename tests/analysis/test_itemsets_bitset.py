@@ -1,0 +1,144 @@
+"""Cross-engine property tests: bitset Eclat == every reference miner.
+
+The bitset engine's contract (DESIGN.md §6) is *exact* equality with the
+pure-Python miners — same itemsets, same supports, same
+``(-support, size, items)`` rank order — on any input.  These tests pin
+that over randomized transaction sets spanning sizes, densities and
+``max_size`` caps, plus the degenerate shapes that break bit-matrix
+code (empty input, empty transactions, single transaction, items with
+large/sparse ids).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.itemsets import (
+    available_algorithms,
+    mine_frequent_itemsets,
+)
+from repro.analysis.itemsets_bitset import bitset_eclat
+from repro.errors import MiningError
+
+REFERENCE_ALGORITHMS = ("eclat", "apriori", "fpgrowth", "bruteforce")
+
+
+def _random_transactions(
+    rng: random.Random, n: int, n_items: int, density: float
+) -> list[set[int]]:
+    items = list(range(n_items))
+    transactions = []
+    for _ in range(n):
+        size = min(n_items, max(0, int(rng.gauss(density * n_items, 2))))
+        transactions.append(set(rng.sample(items, size)))
+    return transactions
+
+
+def _skewed_transactions(
+    rng: random.Random, n: int, n_items: int, size: int
+) -> list[set[int]]:
+    """Zipf-weighted draws — the shape real recipe pools have."""
+    items = list(range(n_items))
+    weights = [1.0 / (rank + 1) for rank in range(n_items)]
+    transactions = []
+    for _ in range(n):
+        transaction: set[int] = set()
+        while len(transaction) < size:
+            transaction.add(rng.choices(items, weights)[0])
+        transactions.append(transaction)
+    return transactions
+
+
+def test_bitset_is_registered():
+    assert "bitset" in available_algorithms()
+    assert set(REFERENCE_ALGORITHMS) <= set(available_algorithms())
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_bitset_equals_all_miners_randomized(seed):
+    rng = random.Random(seed)
+    n = rng.randint(1, 60)
+    n_items = rng.randint(1, 24)
+    density = rng.choice([0.1, 0.25, 0.4])
+    transactions = _random_transactions(rng, n, n_items, density)
+    min_support = rng.choice([0.02, 0.05, 0.1, 0.3, 0.75])
+    max_size = rng.choice([None, 1, 2, 3])
+    expected = mine_frequent_itemsets(
+        transactions, min_support, "eclat", max_size=max_size
+    )
+    for algorithm in ("bitset", "apriori", "fpgrowth", "bruteforce"):
+        result = mine_frequent_itemsets(
+            transactions, min_support, algorithm, max_size=max_size
+        )
+        assert result.itemsets == expected.itemsets, (seed, algorithm)
+        assert result.n_transactions == expected.n_transactions
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_bitset_equals_eclat_on_skewed_pools(seed):
+    rng = random.Random(100 + seed)
+    transactions = _skewed_transactions(rng, n=300, n_items=60, size=6)
+    expected = mine_frequent_itemsets(transactions, 0.05, "eclat")
+    result = mine_frequent_itemsets(transactions, 0.05, "bitset")
+    assert result.itemsets == expected.itemsets
+    assert len(result) > 0  # skewed pools must actually mine something
+    assert result.frequencies() == expected.frequencies()
+
+
+def test_bitset_empty_input():
+    result = bitset_eclat([], 0.05)
+    assert result.itemsets == ()
+    assert result.n_transactions == 0
+    assert result.algorithm == "bitset"
+
+
+def test_bitset_all_empty_transactions():
+    result = bitset_eclat([set(), set(), set()], 0.05)
+    assert result.itemsets == ()
+    assert result.n_transactions == 3
+
+
+def test_bitset_single_transaction():
+    expected = mine_frequent_itemsets([{3, 7, 11}], 0.5, "bruteforce")
+    result = mine_frequent_itemsets([{3, 7, 11}], 0.5, "bitset")
+    assert result.itemsets == expected.itemsets
+
+
+def test_bitset_sparse_large_item_ids():
+    transactions = [{10_000, 999_999}, {10_000}, {10_000, 5}]
+    expected = mine_frequent_itemsets(transactions, 0.3, "eclat")
+    result = mine_frequent_itemsets(transactions, 0.3, "bitset")
+    assert result.itemsets == expected.itemsets
+
+
+def test_bitset_duplicate_items_in_list_input():
+    # Non-set inputs are deduplicated exactly like the reference miners.
+    transactions = [[1, 1, 2], [2, 2, 2, 1], [1]]
+    expected = mine_frequent_itemsets(transactions, 0.3, "eclat")
+    result = mine_frequent_itemsets(transactions, 0.3, "bitset")
+    assert result.itemsets == expected.itemsets
+
+
+def test_bitset_max_size_caps_depth():
+    transactions = [{1, 2, 3, 4}] * 10
+    result = mine_frequent_itemsets(transactions, 0.5, "bitset", max_size=2)
+    assert max(itemset.size for itemset in result.itemsets) == 2
+    expected = mine_frequent_itemsets(
+        transactions, 0.5, "eclat", max_size=2
+    )
+    assert result.itemsets == expected.itemsets
+
+
+def test_bitset_invalid_support():
+    with pytest.raises(MiningError):
+        bitset_eclat([{1}], 0.0)
+    with pytest.raises(MiningError):
+        bitset_eclat([{1}], 1.5)
+
+
+def test_unknown_algorithm_lists_bitset():
+    with pytest.raises(MiningError) as excinfo:
+        mine_frequent_itemsets([{1}], 0.5, "no-such-miner")
+    assert "bitset" in str(excinfo.value)

@@ -2,14 +2,23 @@
 
 from __future__ import annotations
 
+import pickle
+
+import numpy as np
 import pytest
 
 from repro.config import MiningConfig
 from repro.errors import ModelError
 from repro.lexicon.categories import Category
 from repro.models.copy_mutate import CopyMutateRandom
-from repro.models.ensemble import ensemble_curve, run_ensemble
+from repro.models.ensemble import (
+    CurveMiningTask,
+    ensemble_curve,
+    mine_curve_task,
+    run_ensemble,
+)
 from repro.models.params import CuisineSpec
+from repro.runtime import CurveCache, RuntimeConfig
 
 
 def _spec(n_recipes=80):
@@ -87,3 +96,96 @@ def test_invalid_run_count():
 def test_ensemble_curve_requires_runs():
     with pytest.raises(ModelError):
         ensemble_curve([], "x")
+
+
+# ---------------------------------------------------------------------------
+# Picklable process mining + the mined-curve cache (DESIGN.md §6)
+# ---------------------------------------------------------------------------
+
+
+def test_curve_mining_task_is_picklable():
+    task = CurveMiningTask(
+        transactions=(frozenset({1, 2}), frozenset({2})),
+        mining=MiningConfig(min_support=0.1),
+        label="CM-R#0",
+    )
+    clone = pickle.loads(pickle.dumps(task))
+    curve = mine_curve_task(clone)
+    assert curve.label == "CM-R#0"
+    assert len(curve) > 0
+
+
+@pytest.mark.parametrize("algorithm", ["eclat", "bitset"])
+def test_ensemble_curve_bit_identical_across_backends(algorithm):
+    runs = run_ensemble(CopyMutateRandom(), _spec(), n_runs=4, seed=9).runs
+    mining = MiningConfig(min_support=0.05, algorithm=algorithm)
+    serial = ensemble_curve(runs, "CM-R", mining=mining)
+    for backend in ("thread", "process"):
+        parallel = ensemble_curve(
+            runs, "CM-R", mining=mining,
+            runtime=RuntimeConfig(backend=backend, jobs=2),
+        )
+        assert np.array_equal(serial.frequencies, parallel.frequencies)
+
+
+def test_bitset_curve_equals_pure_python_curve():
+    runs = run_ensemble(CopyMutateRandom(), _spec(), n_runs=3, seed=11).runs
+    eclat = ensemble_curve(
+        runs, "CM-R", mining=MiningConfig(min_support=0.05, algorithm="eclat")
+    )
+    bitset = ensemble_curve(
+        runs, "CM-R", mining=MiningConfig(min_support=0.05, algorithm="bitset")
+    )
+    assert np.array_equal(eclat.frequencies, bitset.frequencies)
+
+
+def test_warm_curve_cache_skips_mining_entirely(tmp_path, monkeypatch):
+    runs = run_ensemble(CopyMutateRandom(), _spec(), n_runs=3, seed=4).runs
+    runtime = RuntimeConfig(cache_dir=tmp_path)
+    cold = ensemble_curve(runs, "CM-R", runtime=runtime)
+
+    def _no_mining(*_args, **_kwargs):
+        raise AssertionError("warm path must not mine")
+
+    monkeypatch.setattr(
+        "repro.models.ensemble.mine_frequent_itemsets", _no_mining
+    )
+    cache = CurveCache(tmp_path)
+    warm = ensemble_curve(runs, "CM-R", runtime=runtime, curve_cache=cache)
+    assert np.array_equal(cold.frequencies, warm.frequencies)
+    assert cache.stats.hits == 3 and cache.stats.misses == 0
+
+
+def test_curve_cache_invalidated_by_mining_config(tmp_path):
+    runs = run_ensemble(CopyMutateRandom(), _spec(), n_runs=2, seed=4).runs
+    runtime = RuntimeConfig(cache_dir=tmp_path)
+    ensemble_curve(runs, "CM-R", runtime=runtime)
+    cache = CurveCache(tmp_path)
+    ensemble_curve(
+        runs, "CM-R", mining=MiningConfig(min_support=0.2),
+        runtime=runtime, curve_cache=cache,
+    )
+    assert cache.stats.hits == 0 and cache.stats.misses == 2
+
+
+def test_curve_cache_invalidated_by_different_runs(tmp_path):
+    runtime = RuntimeConfig(cache_dir=tmp_path)
+    runs_a = run_ensemble(CopyMutateRandom(), _spec(), n_runs=2, seed=1).runs
+    ensemble_curve(runs_a, "CM-R", runtime=runtime)
+    runs_b = run_ensemble(CopyMutateRandom(), _spec(), n_runs=2, seed=2).runs
+    cache = CurveCache(tmp_path)
+    ensemble_curve(runs_b, "CM-R", runtime=runtime, curve_cache=cache)
+    assert cache.stats.hits == 0 and cache.stats.misses == 2
+
+
+def test_cached_curve_label_independent(tmp_path):
+    # Content addressing: the same runs aggregated under another label
+    # reuse the cached frequencies (labels are reattached on load).
+    runs = run_ensemble(CopyMutateRandom(), _spec(), n_runs=2, seed=6).runs
+    runtime = RuntimeConfig(cache_dir=tmp_path)
+    first = ensemble_curve(runs, "label-a", runtime=runtime)
+    cache = CurveCache(tmp_path)
+    second = ensemble_curve(runs, "label-b", runtime=runtime, curve_cache=cache)
+    assert cache.stats.hits == 2
+    assert second.label == "label-b"
+    assert np.array_equal(first.frequencies, second.frequencies)

@@ -108,7 +108,7 @@ def test_sweep_cache_warm_second_pass(tmp_path, capsys):
     ]
     assert main(argv) == 0
     cold = capsys.readouterr().out
-    assert f"cache {tmp_path}: 2 entries" in cold
+    assert f"cache {tmp_path}: 2 runs, 0 curves" in cold
 
     assert main(argv) == 0
     warm = capsys.readouterr().out
@@ -118,6 +118,42 @@ def test_sweep_cache_warm_second_pass(tmp_path, capsys):
     )
     assert total_line.split("|")[3].strip() == "2"  # cached
     assert total_line.split("|")[4].strip() == "0"  # executed
+
+
+def test_sweep_mine_prewarms_experiment_zero_mining(
+    tmp_path, capsys, monkeypatch
+):
+    # `repro sweep --mine` warms both curve kinds (per-run model curves
+    # and empirical curves), so a matching `repro experiment fig4`
+    # afterwards must reach no miner at all (DESIGN.md §6).
+    common = [
+        "--regions", "KOR", "--runs", "2", "--scale", "0.02",
+        "--seed", "3", "--cache-dir", str(tmp_path),
+    ]
+    assert main(["sweep", "--models", "CM-R", "CM-C", "CM-M", "NM",
+                 "--mine", *common]) == 0
+    capsys.readouterr()
+
+    def _no_mining(*_args, **_kwargs):
+        raise AssertionError("warm experiment must not mine")
+
+    monkeypatch.setattr(
+        "repro.models.ensemble.mine_frequent_itemsets", _no_mining
+    )
+    monkeypatch.setattr(
+        "repro.analysis.invariants.mine_frequent_itemsets", _no_mining
+    )
+    assert main(["experiment", "fig4", *common]) == 0
+    assert "Fig. 4" in capsys.readouterr().out
+
+
+def test_sweep_mine_requires_cache_dir(capsys):
+    code = main([
+        "sweep", "--regions", "KOR", "--models", "CM-R", "--runs", "2",
+        "--scale", "0.02", "--mine",
+    ])
+    assert code == 2
+    assert "--cache-dir" in capsys.readouterr().err
 
 
 def test_sweep_rejects_unknown_model():
