@@ -18,9 +18,10 @@ Every stochastic command accepts ``--seed`` for exact reproducibility.
 Commands that execute model ensembles (``experiment``, ``evolve``,
 ``report``, ``sweep``) also accept ``--backend {serial,thread,process}``,
 ``--jobs N`` (0 = all cores), ``--cache-dir PATH`` and ``--engine
-{reference,vectorized}`` — results are bit-identical across backends for
-a fixed seed (per engine; see DESIGN.md §5), and the run cache lets
-repeated invocations reuse completed runs.  Mining commands accept
+{reference,vectorized,batched}`` — results are bit-identical across
+backends for a fixed seed (per engine; the batched engine is also
+bit-identical to vectorized, see DESIGN.md §5/§7), and the run cache
+lets repeated invocations reuse completed runs.  Mining commands accept
 ``--mining-algorithm`` (default ``bitset``, the packed-bit fast path;
 every registered miner returns identical results, see DESIGN.md §6).
 """
@@ -81,7 +82,10 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
         "--engine", choices=ENGINES, default=None,
         help=(
             "simulation engine for model runs (default: vectorized; "
-            "'reference' runs the scalar executable-spec loop)"
+            "'reference' runs the scalar executable-spec loop; "
+            "'batched' stacks same-cell runs into one pass, "
+            "bit-identical to vectorized — CM-V falls back to "
+            "vectorized)"
         ),
     )
 

@@ -58,10 +58,13 @@ class ExperimentContext:
             serial with no cache, and results are backend-independent
             for a fixed ``seed``.
         engine: Simulation engine for every model the experiments
-            instantiate (``"reference"``/``"vectorized"``); ``None``
-            keeps each model's default (vectorized).  Part of the run
-            cache key, so switching engines never replays the other
-            engine's cached runs.
+            instantiate (``"reference"``/``"vectorized"``/
+            ``"batched"``); ``None`` keeps each model's default
+            (vectorized).  ``"batched"`` executes each ensemble's
+            uncached runs as one stacked pass, bit-identical to
+            vectorized (CM-V degrades to vectorized; DESIGN.md §7).
+            Part of the run cache key, so switching engines never
+            replays another engine's cached runs.
     """
 
     lexicon: Lexicon
@@ -99,8 +102,9 @@ class ExperimentContext:
             lexicon: Override lexicon (default: the standard 721-entity
                 one).
             runtime: Execution runtime configuration (default serial).
-            engine: Simulation engine for model runs (default: each
-                model's own, i.e. vectorized).
+            engine: Simulation engine for model runs —
+                ``"reference"``, ``"vectorized"`` or ``"batched"``
+                (default: each model's own, i.e. vectorized).
         """
         if scale <= 0:
             raise ExperimentError(f"scale must be > 0, got {scale}")

@@ -5,6 +5,12 @@ from repro.models.base import (
     CulinaryEvolutionModel,
     EvolutionRun,
 )
+from repro.models.batched import (
+    BATCHED_KINDS,
+    BATCHED_STREAM_VERSION,
+    BatchedTransactions,
+    run_batched,
+)
 from repro.models.copy_mutate import (
     CopyMutateCategory,
     CopyMutateMixture,
@@ -43,8 +49,12 @@ from repro.models.vectorized import (
 
 __all__ = [
     "ArrayEvolutionState",
+    "BATCHED_KINDS",
+    "BATCHED_STREAM_VERSION",
+    "BatchedTransactions",
     "ENGINES",
     "VECTORIZED_STREAM_VERSION",
+    "run_batched",
     "run_vectorized",
     "CopyMutateBase",
     "CulinaryEvolutionModel",

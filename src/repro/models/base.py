@@ -14,21 +14,23 @@ until the recipe pool reaches ``N``, with pool-growth steps not consuming
 the recipe budget.  If the universe is exhausted while ∂ < φ, recipe
 steps proceed anyway (nothing else can change ∂).
 
-Engines (DESIGN.md §5): :meth:`CulinaryEvolutionModel.run` dispatches on
-the selected engine.  The scalar loop in this module is the
-``"reference"`` engine — the executable specification.  The
+Engines (DESIGN.md §5, §7): :meth:`CulinaryEvolutionModel.run`
+dispatches on the selected engine.  The scalar loop in this module is
+the ``"reference"`` engine — the executable specification.  The
 ``"vectorized"`` engine (:mod:`repro.models.vectorized`, the default)
 replays the same dynamics over array-backed state with batched RNG
-draws; models opt in by declaring ``vectorized_kind`` on their class,
-and models that customize mutation behavior without declaring it fall
-back to the reference engine automatically.
+draws; the ``"batched"`` engine (:mod:`repro.models.batched`) stacks a
+whole same-cell ensemble and advances every run together, bit-identical
+to ``"vectorized"`` run for run.  Models opt in by declaring
+``vectorized_kind`` on their class; unsupported requests degrade down
+the chain (batched → vectorized → reference) automatically.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, replace
-from typing import ClassVar
+from typing import ClassVar, Sequence
 
 import numpy as np
 
@@ -53,7 +55,12 @@ class EvolutionRun:
     Attributes:
         model_name: Registry name of the model that produced it.
         region_code: Cuisine simulated.
-        transactions: Final recipe pool as ingredient-id sets.
+        transactions: Final recipe pool as ingredient-id sets.  The
+            reference and vectorized engines store an eager
+            ``list``; the batched engine stores a lazy, equal-comparing
+            :class:`~repro.models.batched.BatchedTransactions` view
+            that materializes recipes on read and pickles as the plain
+            list.
         final_pool_size: ``m`` at termination.
         initial_recipes: ``n₀`` used.
         trace: Event counters accumulated during the run.
@@ -65,7 +72,7 @@ class EvolutionRun:
 
     model_name: str
     region_code: str
-    transactions: list[frozenset[int]]
+    transactions: Sequence[frozenset[int]]
     final_pool_size: int
     initial_recipes: int
     trace: EvolutionTraceCounters
@@ -96,8 +103,8 @@ class CulinaryEvolutionModel(abc.ABC):
         params: Model parameters (Sec. VI defaults).
         fitness: Fitness strategy (paper: Uniform(0, 1)).
         engine: Convenience override for ``params.engine``
-            (``"reference"`` or ``"vectorized"``); ``None`` keeps the
-            params' choice.
+            (``"reference"``, ``"vectorized"`` or ``"batched"``);
+            ``None`` keeps the params' choice.
     """
 
     #: Registry name, e.g. ``"CM-R"`` — set by concrete classes.
@@ -138,11 +145,14 @@ class CulinaryEvolutionModel(abc.ABC):
             engine: Per-run override; ``None`` uses ``params.engine``.
 
         Returns:
-            ``"vectorized"`` or ``"reference"``.  A vectorized request
-            resolves to ``"reference"`` when this model's class does not
-            declare ``vectorized_kind`` itself (extensions with custom
-            recipe steps), so unsupported models degrade safely instead
-            of erroring.
+            ``"batched"``, ``"vectorized"`` or ``"reference"``.
+            Requests degrade along the capability chain instead of
+            erroring: a batched request resolves to ``"vectorized"``
+            when the model's kind cannot be run-stacked (CM-V's
+            variable-length recipes), and a vectorized (or degraded
+            batched) request resolves to ``"reference"`` when the
+            model's class does not declare ``vectorized_kind`` itself
+            (extensions with custom recipe steps).
 
         Raises:
             ModelError: On an unknown engine name.
@@ -152,10 +162,14 @@ class CulinaryEvolutionModel(abc.ABC):
             raise ModelError(
                 f"unknown engine {requested!r}; available: {ENGINES}"
             )
-        if (
-            requested == "vectorized"
-            and type(self).__dict__.get("vectorized_kind") is None
-        ):
+        kind = type(self).__dict__.get("vectorized_kind")
+        if requested == "batched":
+            from repro.models.batched import BATCHED_KINDS
+
+            if kind in BATCHED_KINDS:
+                return "batched"
+            requested = "vectorized"
+        if requested == "vectorized" and kind is None:
             return "reference"
         return requested
 
@@ -167,6 +181,17 @@ class CulinaryEvolutionModel(abc.ABC):
         differently must never share a cache entry.
         """
         resolved = self.resolve_engine(engine)
+        if resolved == "batched":
+            from repro.models.batched import BATCHED_STREAM_VERSION
+
+            # Batched runs are bit-identical to vectorized ones, but the
+            # key space is deliberately not shared: bit-identity is a
+            # tested invariant of the engines, not a property the cache
+            # should assume (DESIGN.md §7).
+            return {
+                "engine": resolved,
+                "stream_version": BATCHED_STREAM_VERSION,
+            }
         if resolved == "vectorized":
             from repro.models.vectorized import VECTORIZED_STREAM_VERSION
 
@@ -192,19 +217,34 @@ class CulinaryEvolutionModel(abc.ABC):
         Args:
             spec: Cuisine inputs (``I``, ``s̄``, ``N``, ``φ``).
             seed: RNG seed; fixed seeds reproduce runs exactly (per
-                engine — the engines consume the stream in different
-                orders, so the same seed yields different, equally valid
-                runs on each).
+                engine — ``"batched"`` and ``"vectorized"`` runs are
+                bit-identical to each other, while the ``"reference"``
+                engine consumes the stream in a different order, so the
+                same seed yields a different, equally valid run there).
             record_history: Also record the ``(m, n)`` trajectory after
                 every iteration (pool growth analysis).
             engine: Per-run engine override (default:
-                ``params.engine``); see :meth:`resolve_engine`.
+                ``params.engine``): ``"reference"``, ``"vectorized"``
+                or ``"batched"`` — the last two are supported by the
+                four paper models, while CM-V supports ``"vectorized"``
+                only (a batched request on it degrades there); see
+                :meth:`resolve_engine`.
 
         Returns:
             The completed :class:`EvolutionRun`.
         """
         rng = ensure_rng(seed)
-        if self.resolve_engine(engine) == "vectorized":
+        resolved = self.resolve_engine(engine)
+        if resolved == "batched":
+            from repro.models.batched import run_batched
+
+            # A single run is a batch of one; run_batched keeps every
+            # run bit-identical to the vectorized engine regardless of
+            # batch composition.
+            return run_batched(
+                self, spec, [rng], record_history=record_history
+            )[0]
+        if resolved == "vectorized":
             from repro.models.vectorized import run_vectorized
 
             return run_vectorized(

@@ -254,6 +254,7 @@ def run_ensemble(
     lexicon: Lexicon | None = None,
     include_category_level: bool = False,
     runtime: RuntimeConfig | None = None,
+    engine: str | None = None,
 ) -> EnsembleResult:
     """Run ``model`` ``n_runs`` times and aggregate (Sec. V).
 
@@ -269,6 +270,13 @@ def run_ensemble(
             (:mod:`repro.runtime`); ``None`` executes serially with no
             cache.  Results are bit-identical across backends for a
             fixed ``seed``.
+        engine: Per-run engine override (``"reference"``,
+            ``"vectorized"`` or ``"batched"``; ``None`` keeps the
+            model's ``params.engine``).  The whole ensemble is one
+            same-cell group, so an engine that resolves to
+            ``"batched"`` — the four paper models; CM-V degrades to
+            vectorized — executes the uncached runs as one stacked
+            pass instead of ``n_runs`` dispatches (DESIGN.md §7).
 
     Returns:
         An :class:`EnsembleResult`.
@@ -277,7 +285,10 @@ def run_ensemble(
         raise ModelError(f"n_runs must be >= 1, got {n_runs}")
     root = ensure_rng(seed)
     runs = tuple(
-        execute_runs(model, spec, spawn_seeds(root, n_runs), runtime=runtime)
+        execute_runs(
+            model, spec, spawn_seeds(root, n_runs), runtime=runtime,
+            engine=engine,
+        )
     )
     return aggregate_ensemble(
         model.name,

@@ -36,13 +36,16 @@ class VariableSizeCopyMutate(CopyMutateBase):
         p_delete: Probability a mutation is a deletion.
         min_size: Smallest allowed recipe (paper bound: 2).
         max_size: Largest allowed recipe (paper bound: 38).
-        engine: Convenience override for ``params.engine``.  CM-V's
-            size-changing recipe step has no vectorized implementation
-            (``vectorized_kind`` deliberately unset), so a vectorized
-            request resolves to the reference engine.
+        engine: Convenience override for ``params.engine``.  CM-V
+            supports ``"reference"`` and ``"vectorized"`` (the
+            ``"variable"`` kind); its recipes change length, so there
+            is no fixed row width for the batched engine to stack —
+            an ``engine="batched"`` request resolves to
+            ``"vectorized"`` instead (DESIGN.md §7).
     """
 
     name = "CM-V"
+    vectorized_kind = "variable"
 
     def __init__(
         self,

@@ -21,12 +21,15 @@ from repro.lexicon.lexicon import Lexicon
 
 __all__ = ["ENGINES", "ModelParams", "CuisineSpec"]
 
-#: Recognized simulation engines (see DESIGN.md §5).  ``"reference"`` is
-#: the scalar Algorithm 1 loop kept as the executable specification;
-#: ``"vectorized"`` is the array-backed engine with batched RNG draws
-#: (the default — ≥3× single-run throughput, same dynamics under its own
-#: versioned determinism contract).
-ENGINES: tuple[str, ...] = ("reference", "vectorized")
+#: Recognized simulation engines (see DESIGN.md §5 and §7).
+#: ``"reference"`` is the scalar Algorithm 1 loop kept as the executable
+#: specification; ``"vectorized"`` is the array-backed engine with
+#: batched RNG draws (the default — ≥3× single-run throughput, same
+#: dynamics under its own versioned determinism contract);
+#: ``"batched"`` stacks a whole same-cell ensemble into ``(runs, …)``
+#: arrays and advances every run per step in one numpy pass, with
+#: per-run results bit-identical to ``"vectorized"``.
+ENGINES: tuple[str, ...] = ("reference", "vectorized", "batched")
 
 
 @dataclass(frozen=True)
@@ -51,11 +54,13 @@ class ModelParams:
             category-restricted choice (paper: exactly half the time).
         engine: Simulation engine executing Algorithm 1:
             ``"vectorized"`` (default; array-backed state, batched RNG
-            draws) or ``"reference"`` (the scalar loop, kept as the
-            executable spec).  Both are deterministic per seed and
-            distributionally equivalent, but they consume the RNG
-            stream in different orders, so their runs — and their
-            run-cache keys — differ (DESIGN.md §5).
+            draws), ``"batched"`` (whole-ensemble run stacking;
+            per-run results bit-identical to ``"vectorized"``) or
+            ``"reference"`` (the scalar loop, kept as the executable
+            spec).  All are deterministic per seed; the reference
+            engine consumes the RNG stream in a different order from
+            the other two, so its runs — and its run-cache keys —
+            differ (DESIGN.md §5, §7).
     """
 
     initial_pool_size: int = PAPER.model_initial_pool_size

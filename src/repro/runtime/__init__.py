@@ -10,8 +10,10 @@ swappable concern:
   worker count, optional cache directory;
 * :mod:`~repro.runtime.executor` — order-preserving map backends;
 * :mod:`~repro.runtime.runner` — deterministic run execution
-  (:func:`execute_runs`) built on per-run integer seed streams, plus
-  :func:`parallel_map` for per-cuisine fan-out inside experiments;
+  (:func:`execute_runs`) built on per-run integer seed streams,
+  same-cell grouping of ``engine="batched"`` work into single stacked
+  passes (DESIGN.md §7), plus :func:`parallel_map` for per-cuisine
+  fan-out inside experiments;
 * :mod:`~repro.runtime.cache` — an on-disk run cache keyed by
   ``(model, params, cuisine, seed)`` shared across backends and
   invocations;
@@ -56,9 +58,11 @@ from repro.runtime.executor import (
 from repro.runtime.runner import (
     BackendDegradation,
     BackendDegradationWarning,
+    BatchRequest,
     RunRequest,
     backend_degradations,
     clear_backend_degradations,
+    execute_batch,
     execute_request,
     execute_runs,
     parallel_map,
@@ -78,6 +82,7 @@ __all__ = [
     "BACKENDS",
     "BackendDegradation",
     "BackendDegradationWarning",
+    "BatchRequest",
     "CACHE_FORMAT_VERSION",
     "CURVE_FORMAT_VERSION",
     "CacheDiskStats",
@@ -98,6 +103,7 @@ __all__ = [
     "backend_degradations",
     "clear_backend_degradations",
     "curve_key",
+    "execute_batch",
     "execute_request",
     "execute_runs",
     "execute_sweep",

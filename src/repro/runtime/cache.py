@@ -55,7 +55,11 @@ __all__ = [
 #: v2: the payload gained the resolved engine + RNG-stream contract
 #: version (``ModelParams`` also grew the ``engine`` field), so
 #: reference and vectorized runs can never share an entry.
-CACHE_FORMAT_VERSION = 2
+#: v3: the ``"batched"`` engine landed (its own key space under
+#: ``BATCHED_STREAM_VERSION``), ``ENGINES`` grew a third member, and
+#: CM-V gained a vectorized step — keys that previously resolved to
+#: its reference engine now resolve to vectorized (DESIGN.md §7).
+CACHE_FORMAT_VERSION = 3
 
 
 def _canonical(value: object) -> object:

@@ -35,9 +35,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "BackendDegradation",
     "BackendDegradationWarning",
+    "BatchRequest",
     "RunRequest",
     "backend_degradations",
     "clear_backend_degradations",
+    "execute_batch",
     "execute_request",
     "execute_runs",
     "parallel_map",
@@ -140,9 +142,10 @@ class RunRequest:
         spec: Cuisine inputs.
         seed: Integer child seed from :func:`repro.rng.spawn_seeds`.
         record_history: Forwarded to ``model.run``.
-        engine: Per-run engine override forwarded to ``model.run``;
-            ``None`` uses the model's ``params.engine``.  The cache key
-            covers the resolved engine either way.
+        engine: Per-run engine override forwarded to ``model.run``
+            (``"reference"``, ``"vectorized"`` or ``"batched"``;
+            ``None`` uses the model's ``params.engine``).  The cache
+            key covers the resolved engine either way.
     """
 
     model: "CulinaryEvolutionModel"
@@ -169,6 +172,126 @@ def execute_request(request: RunRequest) -> "EvolutionRun":
     )
 
 
+@dataclass(frozen=True)
+class BatchRequest:
+    """A same-cell group of runs executed as one batched pass.
+
+    The batched engine's unit of work (DESIGN.md §7): every seed shares
+    the same model, spec, history flag and engine override, so the whole
+    group advances through :func:`repro.models.batched.run_batched` in
+    one set of stacked arrays instead of ``len(seeds)`` per-run
+    dispatches.  Like :class:`RunRequest` it is a pure, picklable
+    payload — a batch can cross a process boundary whole.
+
+    Attributes:
+        model: The configured evolution model (shared by every run).
+        spec: Cuisine inputs (shared).
+        seeds: Integer child seeds, one per run; result order follows
+            seed order.
+        record_history: Forwarded to the batch.
+        engine: The requests' engine override, carried for provenance
+            (grouping already proved it resolves to ``"batched"``).
+    """
+
+    model: "CulinaryEvolutionModel"
+    spec: "CuisineSpec"
+    seeds: tuple[int, ...]
+    record_history: bool = False
+    engine: str | None = None
+
+
+def execute_batch(batch: BatchRequest) -> list["EvolutionRun"]:
+    """Execute a batch of runs in one stacked pass, in seed order.
+
+    Module-level so the process backend can pickle it.  Each run of the
+    result is bit-identical to what :func:`execute_request` would have
+    produced for the same seed — batch composition never leaks into
+    per-run results — which is what keeps batched runs individually
+    cacheable.
+    """
+    from repro.models.batched import run_batched
+
+    return run_batched(
+        batch.model,
+        batch.spec,
+        [rng_from_seed(seed) for seed in batch.seeds],
+        record_history=batch.record_history,
+    )
+
+
+def _execute_work(
+    item: "RunRequest | BatchRequest",
+) -> list["EvolutionRun"]:
+    """Execute one work item — single run or batch — as a run list.
+
+    The uniform shape lets one order-preserving ``executor.map`` carry
+    a mixed sequence of singles and batches; the caller flattens.
+    """
+    if isinstance(item, BatchRequest):
+        return execute_batch(item)
+    return [execute_request(item)]
+
+
+def _plan_work(
+    requests: Sequence[RunRequest], pending: Sequence[int]
+) -> list["RunRequest | BatchRequest"]:
+    """Group adjacent batched-resolving misses into :class:`BatchRequest`s.
+
+    Walks the pending indices in dispatch order and folds consecutive
+    requests that share the same model and spec *instances*, history
+    flag and engine override — and whose engine resolves to
+    ``"batched"`` — into one batch.  Everything else (other engines,
+    models the batched engine cannot stack, singleton groups) stays a
+    plain per-run request.  Identity-based grouping is deliberately
+    conservative: :func:`execute_runs` and the sweep layer build each
+    cell's requests from one model/spec object, so same-cell groups
+    always form, while equal-but-distinct configurations never
+    accidentally merge.
+    """
+    work: list["RunRequest | BatchRequest"] = []
+    group: list[RunRequest] = []
+
+    def flush() -> None:
+        if not group:
+            return
+        if len(group) == 1:
+            work.append(group[0])
+        else:
+            first = group[0]
+            work.append(
+                BatchRequest(
+                    model=first.model,
+                    spec=first.spec,
+                    seeds=tuple(request.seed for request in group),
+                    record_history=first.record_history,
+                    engine=first.engine,
+                )
+            )
+        group.clear()
+
+    current_signature: tuple | None = None
+    for index in pending:
+        request = requests[index]
+        if request.model.resolve_engine(request.engine) == "batched":
+            signature = (
+                id(request.model),
+                id(request.spec),
+                request.record_history,
+                request.engine,
+            )
+        else:
+            signature = None
+        if signature != current_signature or signature is None:
+            flush()
+            current_signature = signature
+        if signature is None:
+            work.append(request)
+        else:
+            group.append(request)
+    flush()
+    return work
+
+
 def dispatch_requests(
     requests: Sequence[RunRequest],
     keys: Sequence[str] | None,
@@ -183,6 +306,12 @@ def dispatch_requests(
     backend (in request order, so order-preserving executors keep the
     result list aligned with ``requests``), and a cache *write* failure
     disables further writes rather than discarding computed results.
+
+    Misses whose engine resolves to ``"batched"`` are additionally
+    folded into same-cell :class:`BatchRequest` groups (see
+    :func:`_plan_work`) and executed as single stacked passes; because
+    batched runs are bit-identical regardless of batch composition,
+    cache hits splitting a group never change any run's result.
 
     Args:
         requests: The work items, in result order.
@@ -210,9 +339,10 @@ def dispatch_requests(
 
     if pending:
         executor = get_executor(config)
-        computed = executor.map(
-            execute_request, [requests[index] for index in pending]
+        computed_lists = executor.map(
+            _execute_work, _plan_work(requests, pending)
         )
+        computed = [run for runs in computed_lists for run in runs]
         for index, run in zip(pending, computed):
             results[index] = run
             if cache is not None and keys is not None:
@@ -252,7 +382,12 @@ def execute_runs(
         cache: Explicit cache instance (overrides ``runtime.cache_dir``;
             useful for inspecting hit/miss stats).
         engine: Per-run engine override forwarded to every run
-            (default: the model's ``params.engine``).
+            (``"reference"``, ``"vectorized"`` or ``"batched"``;
+            default: the model's ``params.engine``).  An engine
+            resolving to ``"batched"`` executes same-cell cache
+            misses as stacked group passes — bit-identical to
+            per-run vectorized execution (DESIGN.md §7); CM-V
+            degrades to vectorized.
 
     Returns:
         Runs aligned with ``seeds``.

@@ -125,10 +125,14 @@ class SweepPlan:
             from the root generator, and the order results come back.
         record_history: Forwarded to every run.
         engine: Per-run engine override forwarded to every run
-            (``None``: each cell's model decides via ``params.engine``).
-            Carried on the plan so one grid can be re-executed on the
-            other engine without rebuilding the models, and so the cache
-            keys of a sweep cover the engine its runs actually used.
+            (``"reference"``, ``"vectorized"`` or ``"batched"``;
+            ``None``: each cell's model decides via ``params.engine``).
+            Carried on the plan so one grid can be re-executed on
+            another engine without rebuilding the models, and so the
+            cache keys of a sweep cover the engine its runs actually
+            used.  Under ``"batched"`` the dispatcher stacks each
+            cell's uncached runs into one pass (DESIGN.md §7); models
+            without batched support (CM-V) degrade to vectorized.
     """
 
     cells: tuple[SweepCell, ...]
@@ -179,7 +183,9 @@ def plan_cells(
         seed: Root seed or generator; a passed generator is advanced
             exactly as the per-cell path would advance it.
         record_history: Forwarded to every run.
-        engine: Per-run engine override forwarded to every run.
+        engine: Per-run engine override forwarded to every run
+            (``"reference"``, ``"vectorized"`` or ``"batched"``; see
+            :class:`SweepPlan`).
 
     Raises:
         ExecutionError: If ``n_runs < 1``.
@@ -220,7 +226,9 @@ def plan_grid(
         n_runs: Runs per (model, cuisine) cell.
         seed: Root seed or generator.
         record_history: Forwarded to every run.
-        engine: Per-run engine override forwarded to every run.
+        engine: Per-run engine override forwarded to every run
+            (``"reference"``, ``"vectorized"`` or ``"batched"``; see
+            :class:`SweepPlan`).
 
     Raises:
         ExecutionError: On an empty model or cuisine axis.

@@ -17,6 +17,10 @@ instead has three layers:
    fallbacks.
 3. **The vectorized engine is itself exactly deterministic** — fixed
    seed → bit-identical runs, across serial/thread/process backends.
+4. **The batched engine is bit-identical to vectorized** (DESIGN.md
+   §7): stacking runs never changes any individual run — transactions,
+   trace, and history match exactly, for every batchable model, at any
+   batch size or composition.
 """
 
 from __future__ import annotations
@@ -27,10 +31,11 @@ import numpy as np
 import pytest
 
 from repro.lexicon.categories import Category
+from repro.models.batched import run_batched
 from repro.models.null_model import NullModel
 from repro.models.params import CuisineSpec, ModelParams
 from repro.models.registry import PAPER_MODELS, create_model
-from repro.rng import ensure_rng, spawn_seeds
+from repro.rng import ensure_rng, rng_from_seed, spawn_seeds
 from repro.runtime import RuntimeConfig, execute_runs
 
 N_SEEDS = 12
@@ -301,12 +306,197 @@ def test_engine_override_beats_params():
 
 
 def test_unsupported_model_falls_back_to_reference():
-    """CM-V has no vectorized step: a vectorized request degrades."""
+    """A model with no vectorized step degrades all the way down."""
+    from repro.models.base import CopyMutateBase
+
+    class NoKind(CopyMutateBase):
+        name = "TST-NOKIND"
+
+        def _recipe_step(self, state, rng):  # pragma: no cover - unused
+            raise NotImplementedError
+
+        def _choose_replacement(self, state, victim, rng):
+            return None  # pragma: no cover - unused
+
+    model = NoKind(engine="vectorized")
+    assert model.resolve_engine() == "reference"
+    assert model.resolve_engine("batched") == "reference"
+
+
+# ----------------------------------------------------------------------
+# CM-V: the "variable" vectorized kind (no batched support)
+# ----------------------------------------------------------------------
+
+
+def _cm_v_pair(seed, spec, record_history=False):
+    from repro.models.extensions.variable_size import VariableSizeCopyMutate
+
+    reference = VariableSizeCopyMutate(engine="reference").run(
+        spec, seed=seed, record_history=record_history
+    )
+    vectorized = VariableSizeCopyMutate(engine="vectorized").run(
+        spec, seed=seed, record_history=record_history
+    )
+    return reference, vectorized
+
+
+def test_cm_v_resolves_vectorized_and_degrades_batched():
+    """CM-V runs vectorized; a batched request degrades to vectorized."""
     from repro.models.extensions.variable_size import VariableSizeCopyMutate
 
     model = VariableSizeCopyMutate(engine="vectorized")
-    assert model.resolve_engine() == "reference"
+    assert model.resolve_engine() == "vectorized"
+    assert model.resolve_engine("batched") == "vectorized"
     spec = _spec(n_recipes=60)
-    vectorized_request = model.run(spec, seed=4)
-    reference = VariableSizeCopyMutate(engine="reference").run(spec, seed=4)
-    assert vectorized_request.transactions == reference.transactions
+    batched_request = model.run(spec, seed=4)
+    vectorized = model.run(spec, seed=4, engine="batched")
+    assert batched_request.transactions == vectorized.transactions
+
+
+def test_cm_v_trajectories_identical():
+    """CM-V deterministic structure matches between its two engines."""
+    spec = _spec()
+    for seed in range(N_SEEDS):
+        reference, vectorized = _cm_v_pair(seed, spec, record_history=True)
+        assert reference.history == vectorized.history
+        assert reference.final_pool_size == vectorized.final_pool_size
+        assert (
+            reference.trace.mutations_attempted
+            == vectorized.trace.mutations_attempted
+        )
+
+
+def test_cm_v_sizes_drift_within_bounds_both_engines():
+    """Insert/delete moves change sizes on both engines, within [2, 38]."""
+    from repro.models.extensions.variable_size import VariableSizeCopyMutate
+
+    spec = _spec(n_ingredients=30, n_recipes=200, avg_size=6.0)
+    for engine in ("reference", "vectorized"):
+        model = VariableSizeCopyMutate(engine=engine)
+        run = model.run(spec, seed=9)
+        sizes = {len(t) for t in run.transactions}
+        assert len(sizes) > 1, f"no size drift on {engine}"
+        assert min(sizes) >= model.min_size
+        assert max(sizes) <= model.max_size
+
+
+def test_cm_v_acceptance_rates_close():
+    """CM-V acceptance rates agree across engines within tolerance."""
+    from repro.models.extensions.variable_size import VariableSizeCopyMutate
+
+    spec = _spec()
+    rates = {}
+    for engine in ("reference", "vectorized"):
+        model = VariableSizeCopyMutate(engine=engine)
+        runs = [model.run(spec, seed=1000 + seed) for seed in range(N_SEEDS)]
+        attempted = sum(run.trace.mutations_attempted for run in runs)
+        accepted = sum(run.trace.mutations_accepted for run in runs)
+        rates[engine] = accepted / attempted
+    assert rates["reference"] > 0
+    assert rates["vectorized"] == pytest.approx(rates["reference"], rel=0.15)
+
+
+# ----------------------------------------------------------------------
+# Layer 4: batched engine bit-identity (DESIGN.md §7)
+# ----------------------------------------------------------------------
+
+
+def _assert_runs_identical(batched, vectorized):
+    assert batched.transactions == vectorized.transactions
+    assert vectorized.transactions == batched.transactions
+    assert batched.trace == vectorized.trace
+    assert batched.history == vectorized.history
+    assert batched.final_pool_size == vectorized.final_pool_size
+    assert batched.initial_recipes == vectorized.initial_recipes
+
+
+@pytest.mark.parametrize("name", PAPER_MODELS)
+def test_batched_bit_identical_to_vectorized(name):
+    """Whole-batch results equal per-run vectorized results exactly."""
+    spec = _spec()
+    model = create_model(name, engine="vectorized")
+    seeds = list(range(N_SEEDS))
+    batched = run_batched(
+        model, spec, [rng_from_seed(seed) for seed in seeds],
+        record_history=True,
+    )
+    for seed, batched_run in zip(seeds, batched):
+        vectorized = model.run(spec, seed=seed, record_history=True)
+        _assert_runs_identical(batched_run, vectorized)
+
+
+@pytest.mark.parametrize("name", PAPER_MODELS)
+def test_batched_vs_reference_deterministic_structure(name):
+    """Batched runs share the reference engine's exact (m, n) structure."""
+    spec = _spec()
+    model = create_model(name)
+    seeds = [5, 6, 7]
+    batched = run_batched(
+        model, spec, [rng_from_seed(seed) for seed in seeds],
+        record_history=True,
+    )
+    for seed, batched_run in zip(seeds, batched):
+        reference = model.run(
+            spec, seed=seed, engine="reference", record_history=True
+        )
+        assert batched_run.history == reference.history
+        assert batched_run.final_pool_size == reference.final_pool_size
+        assert (
+            batched_run.trace.mutations_attempted
+            == reference.trace.mutations_attempted
+        )
+
+
+def test_batched_independent_of_batch_composition():
+    """A run's result never depends on which runs share its batch."""
+    spec = _spec()
+    model = create_model("CM-C")
+    alone = run_batched(model, spec, [rng_from_seed(3)])[0]
+    grouped = run_batched(
+        model, spec, [rng_from_seed(seed) for seed in (1, 3, 8, 21)]
+    )[1]
+    assert alone.transactions == grouped.transactions
+    assert alone.trace == grouped.trace
+
+
+def test_batched_engine_override_resolution():
+    """engine="batched" resolves per model class, and run() honors it."""
+    spec = _spec(n_recipes=60)
+    for name in PAPER_MODELS:
+        model = create_model(name)
+        assert model.resolve_engine("batched") == "batched"
+        via_run = model.run(spec, seed=2, engine="batched")
+        vectorized = model.run(spec, seed=2, engine="vectorized")
+        _assert_runs_identical(via_run, vectorized)
+
+
+def test_batched_non_uniform_recipe_lengths():
+    """Short rows must truncate per row, not pad to the widest one.
+
+    Two ways rows fall short of the batch's row width: NM recipes drawn
+    while the pool is still smaller than s̄, and CM-R recipes shrunk by
+    duplicate collapse under ``duplicate_policy="allow"``.
+    """
+    spec = _spec(n_ingredients=30, n_recipes=120, avg_size=8.0, phi=0.4)
+    cases = [
+        ("NM", ModelParams(initial_pool_size=5)),
+        ("CM-R", ModelParams(mutations=8, duplicate_policy="allow")),
+    ]
+    for name, params in cases:
+        model = create_model(name, params=params)
+        batched = run_batched(model, spec, [rng_from_seed(11)])[0]
+        vectorized = model.run(spec, seed=11, engine="vectorized")
+        lengths = {len(t) for t in batched.transactions}
+        assert len(lengths) > 1, f"{name} did not produce mixed lengths"
+        assert batched.transactions == vectorized.transactions
+
+
+def test_batched_deterministic_per_seed():
+    """Same generator seeds → bit-identical batched results."""
+    spec = _spec()
+    model = create_model("CM-M")
+    first = run_batched(model, spec, [rng_from_seed(s) for s in (1, 2)])
+    second = run_batched(model, spec, [rng_from_seed(s) for s in (1, 2)])
+    for a, b in zip(first, second):
+        assert a.transactions == b.transactions
+        assert a.trace == b.trace

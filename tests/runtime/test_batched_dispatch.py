@@ -1,0 +1,232 @@
+"""Batched-engine dispatch through the runtime (DESIGN.md §7).
+
+The dispatcher folds adjacent cache misses that resolve to
+``engine="batched"`` into same-cell :class:`BatchRequest` groups and
+executes each group as one stacked pass.  The contract tested here:
+
+* grouping is same-cell and identity-based — other engines, other
+  models, and singleton misses stay plain per-run requests;
+* results are bit-identical to per-run vectorized execution on every
+  backend, regardless of how cache hits split a group;
+* cached batched runs interoperate with per-run replay: each run is
+  individually cacheable and its lazy transactions pickle back as a
+  plain eager list;
+* :class:`~repro.models.batched.BatchedTransactions` honors the
+  sequence protocol (len/index/slice/iterate/compare) both ways.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.models.batched import BatchedTransactions, run_batched
+from repro.models.extensions.variable_size import VariableSizeCopyMutate
+from repro.models.registry import create_model
+from repro.rng import ensure_rng, rng_from_seed, spawn_seeds
+from repro.runtime import (
+    BatchRequest,
+    RunCache,
+    RunRequest,
+    RuntimeConfig,
+    execute_runs,
+)
+from repro.runtime.runner import _plan_work
+
+
+def _signature(runs):
+    return [(run.transactions, run.trace) for run in runs]
+
+
+def _requests(model, spec, seeds, engine="batched"):
+    return [
+        RunRequest(model=model, spec=spec, seed=int(seed), engine=engine)
+        for seed in seeds
+    ]
+
+
+# ----------------------------------------------------------------------
+# Grouping
+# ----------------------------------------------------------------------
+
+
+def test_plan_work_groups_same_cell_runs(tiny_spec):
+    model = create_model("CM-R")
+    requests = _requests(model, tiny_spec, range(4))
+    work = _plan_work(requests, list(range(4)))
+    assert len(work) == 1
+    (batch,) = work
+    assert isinstance(batch, BatchRequest)
+    assert batch.seeds == (0, 1, 2, 3)
+
+
+def test_plan_work_keeps_singletons_as_run_requests(tiny_spec):
+    model = create_model("CM-R")
+    requests = _requests(model, tiny_spec, range(3))
+    work = _plan_work(requests, [1])
+    assert len(work) == 1
+    assert isinstance(work[0], RunRequest)
+    assert work[0].seed == 1
+
+
+def test_plan_work_groups_across_cache_hits(tiny_spec):
+    """A hit between two misses does not break the same-cell group."""
+    model = create_model("CM-R")
+    requests = _requests(model, tiny_spec, range(3))
+    work = _plan_work(requests, [0, 2])
+    assert len(work) == 1
+    (batch,) = work
+    assert isinstance(batch, BatchRequest)
+    assert batch.seeds == (0, 2)
+
+
+def test_plan_work_respects_cell_boundaries(tiny_spec):
+    cm_r, cm_c = create_model("CM-R"), create_model("CM-C")
+    requests = _requests(cm_r, tiny_spec, range(2)) + _requests(
+        cm_c, tiny_spec, range(2)
+    )
+    work = _plan_work(requests, list(range(4)))
+    assert len(work) == 2
+    assert all(isinstance(item, BatchRequest) for item in work)
+    assert [item.model.name for item in work] == ["CM-R", "CM-C"]
+
+
+def test_plan_work_leaves_other_engines_alone(tiny_spec):
+    model = create_model("CM-R")
+    requests = _requests(model, tiny_spec, range(3), engine="vectorized")
+    work = _plan_work(requests, list(range(3)))
+    assert all(isinstance(item, RunRequest) for item in work)
+
+
+def test_plan_work_degrades_unbatchable_models(tiny_spec):
+    """CM-V resolves to vectorized, so its requests never group."""
+    model = VariableSizeCopyMutate()
+    requests = _requests(model, tiny_spec, range(3))
+    work = _plan_work(requests, list(range(3)))
+    assert all(isinstance(item, RunRequest) for item in work)
+
+
+# ----------------------------------------------------------------------
+# Dispatch equivalence
+# ----------------------------------------------------------------------
+
+
+def test_execute_runs_batched_equals_vectorized(tiny_spec):
+    model = create_model("CM-M")
+    seeds = spawn_seeds(ensure_rng(7), 6)
+    batched = execute_runs(model, tiny_spec, seeds, engine="batched")
+    vectorized = execute_runs(model, tiny_spec, seeds, engine="vectorized")
+    assert _signature(batched) == _signature(vectorized)
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_batched_bit_identical_across_backends(tiny_spec, backend):
+    model = create_model("CM-C")
+    seeds = spawn_seeds(ensure_rng(5), 4)
+    serial = execute_runs(model, tiny_spec, seeds, engine="batched")
+    parallel = execute_runs(
+        model, tiny_spec, seeds, engine="batched",
+        runtime=RuntimeConfig(backend=backend, jobs=2),
+    )
+    assert _signature(serial) == _signature(parallel)
+
+
+def test_cm_v_dispatches_through_batched_request(tiny_spec):
+    """engine="batched" on CM-V silently runs vectorized, per run."""
+    model = VariableSizeCopyMutate()
+    seeds = spawn_seeds(ensure_rng(3), 3)
+    batched = execute_runs(model, tiny_spec, seeds, engine="batched")
+    vectorized = execute_runs(model, tiny_spec, seeds, engine="vectorized")
+    assert _signature(batched) == _signature(vectorized)
+
+
+# ----------------------------------------------------------------------
+# Cache interop
+# ----------------------------------------------------------------------
+
+
+def test_batched_runs_cache_individually(tiny_spec, tmp_path):
+    cache = RunCache(tmp_path)
+    model = create_model("CM-R")
+    seeds = spawn_seeds(ensure_rng(1), 5)
+    first = execute_runs(
+        model, tiny_spec, seeds, cache=cache, engine="batched"
+    )
+    assert cache.stats.misses == 5 and cache.stats.stores == 5
+
+    # Warm replay serves every run individually, content-identical.
+    second = execute_runs(
+        model, tiny_spec, seeds, cache=cache, engine="batched"
+    )
+    assert cache.stats.hits == 5
+    assert _signature(first) == _signature(second)
+    # Lazy transactions pickle as the plain eager list.
+    assert all(type(run.transactions) is list for run in second)
+
+
+def test_partial_warm_cache_splits_group_safely(tiny_spec, tmp_path):
+    cache = RunCache(tmp_path)
+    model = create_model("CM-R")
+    seeds = spawn_seeds(ensure_rng(1), 6)
+    execute_runs(
+        model, tiny_spec, [seeds[1], seeds[4]], cache=cache,
+        engine="batched",
+    )
+    runs = execute_runs(
+        model, tiny_spec, seeds, cache=cache, engine="batched"
+    )
+    assert cache.stats.hits == 2
+    # Batch composition must not affect results: the split groups equal
+    # an uncached full-batch execution.
+    uncached = execute_runs(model, tiny_spec, seeds, engine="batched")
+    assert _signature(runs) == _signature(uncached)
+
+
+def test_batched_and_vectorized_keys_are_distinct(tiny_spec, tmp_path):
+    cache = RunCache(tmp_path)
+    model = create_model("CM-R")
+    seeds = spawn_seeds(ensure_rng(2), 2)
+    execute_runs(model, tiny_spec, seeds, cache=cache, engine="batched")
+    execute_runs(model, tiny_spec, seeds, cache=cache, engine="vectorized")
+    # Same results, but separate key spaces — no cross-engine hits.
+    assert cache.stats.hits == 0
+    assert cache.stats.stores == 4
+
+
+# ----------------------------------------------------------------------
+# BatchedTransactions sequence protocol
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def lazy_run(tiny_spec):
+    model = create_model("CM-R")
+    return run_batched(model, tiny_spec, [rng_from_seed(8)])[0]
+
+
+def test_lazy_transactions_sequence_protocol(lazy_run):
+    transactions = lazy_run.transactions
+    assert isinstance(transactions, BatchedTransactions)
+    assert len(transactions) == 40
+    assert isinstance(transactions[0], frozenset)
+    assert transactions[-1] == transactions[len(transactions) - 1]
+    assert transactions[3:6] == list(transactions)[3:6]
+    assert bool(transactions)
+
+
+def test_lazy_transactions_equality_both_directions(lazy_run):
+    transactions = lazy_run.transactions
+    eager = list(transactions)
+    assert transactions == eager
+    assert eager == transactions
+    assert not transactions == eager[:-1]
+    mutated = eager[:-1] + [frozenset({999})]
+    assert transactions != mutated
+
+
+def test_lazy_transactions_pickle_as_plain_list(lazy_run):
+    transactions = lazy_run.transactions
+    restored = pickle.loads(pickle.dumps(transactions))
+    assert type(restored) is list
+    assert restored == transactions

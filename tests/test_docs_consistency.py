@@ -1,0 +1,92 @@
+"""Code-cited documentation anchors must exist.
+
+DESIGN.md's section numbering is stable API: code comments and
+docstrings cite sections by number (``DESIGN.md §5``), and DESIGN.md
+itself promises "append, don't renumber".  These tests keep that
+promise honest:
+
+* every ``DESIGN.md §N`` citation in ``src/``, ``tests/`` and
+  ``benchmarks/`` resolves to a real ``## §N`` heading;
+* the Contents line and the actual headings agree;
+* README's documentation map mentions every DESIGN.md section.
+
+A failure here means a section was renamed/renumbered or a citation
+was typo'd — fix the citation or append a new section, never renumber.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DESIGN = REPO_ROOT / "DESIGN.md"
+README = REPO_ROOT / "README.md"
+SCANNED_DIRS = ("src", "tests", "benchmarks")
+CITATION = re.compile(r"DESIGN\.md §(\d+)")
+HEADING = re.compile(r"^## §(\d+)\b", re.MULTILINE)
+
+
+def _design_sections() -> set[int]:
+    return {int(n) for n in HEADING.findall(DESIGN.read_text())}
+
+
+def _citations() -> dict[int, list[str]]:
+    """Map cited section number -> files citing it."""
+    cited: dict[int, list[str]] = {}
+    for directory in SCANNED_DIRS:
+        for path in sorted((REPO_ROOT / directory).rglob("*.py")):
+            for number in CITATION.findall(path.read_text()):
+                cited.setdefault(int(number), []).append(
+                    str(path.relative_to(REPO_ROOT))
+                )
+    return cited
+
+
+def test_design_has_sections():
+    sections = _design_sections()
+    assert sections, "DESIGN.md has no '## §N' headings"
+    assert sections == set(range(1, max(sections) + 1)), (
+        "DESIGN.md section numbers must be contiguous from §1"
+    )
+
+
+def test_cited_sections_exist():
+    sections = _design_sections()
+    missing = {
+        number: files
+        for number, files in _citations().items()
+        if number not in sections
+    }
+    assert not missing, (
+        f"code cites DESIGN.md sections that do not exist: {missing}"
+    )
+
+
+def test_contents_line_matches_headings():
+    text = DESIGN.read_text()
+    contents_match = re.search(
+        r"^Contents:.*?(?=\n\n)", text, re.MULTILINE | re.DOTALL
+    )
+    assert contents_match, "DESIGN.md has no Contents line"
+    listed = {int(n) for n in re.findall(r"§(\d+)", contents_match.group())}
+    assert listed == _design_sections(), (
+        "DESIGN.md Contents line out of sync with its '## §N' headings"
+    )
+
+
+def test_readme_documentation_map_covers_design():
+    readme = README.read_text()
+    mentioned = {int(n) for n in re.findall(r"§(\d+)", readme)}
+    missing = _design_sections() - mentioned
+    assert not missing, (
+        f"README documentation map does not mention DESIGN.md {missing}"
+    )
+
+
+@pytest.mark.parametrize("section", sorted(_citations()))
+def test_each_cited_section_resolves(section):
+    """Per-section ids so a failure names the exact dangling citation."""
+    assert section in _design_sections()
