@@ -11,19 +11,27 @@ Subcommands::
     repro sweep       — execute the model×cuisine run grid in one
                         sharded pass (and warm the run cache; ``--mine``
                         also warms the mined-curve cache)
+    repro worker      — serve a distributed work-queue spool directory
+                        (claim tasks, heartbeat, write results) until
+                        stopped; pairs with ``--backend distributed``
     repro cache       — inspect (`stats`), empty (`clear`), or age-out
                         (`prune`) a cache directory (runs + mined curves)
 
 Every stochastic command accepts ``--seed`` for exact reproducibility.
 Commands that execute model ensembles (``experiment``, ``evolve``,
-``report``, ``sweep``) also accept ``--backend {serial,thread,process}``,
-``--jobs N`` (0 = all cores), ``--cache-dir PATH`` and ``--engine
-{reference,vectorized,batched}`` — results are bit-identical across
-backends for a fixed seed (per engine; the batched engine is also
-bit-identical to vectorized, see DESIGN.md §5/§7), and the run cache
-lets repeated invocations reuse completed runs.  Mining commands accept
-``--mining-algorithm`` (default ``bitset``, the packed-bit fast path;
-every registered miner returns identical results, see DESIGN.md §6).
+``report``, ``sweep``) also accept ``--backend
+{serial,thread,process,distributed}``, ``--jobs N`` (0 = all cores),
+``--cache-dir PATH`` and ``--engine {reference,vectorized,batched}`` —
+results are bit-identical across backends for a fixed seed (per engine;
+the batched engine is also bit-identical to vectorized, see DESIGN.md
+§5/§7), and the run cache lets repeated invocations reuse completed
+runs.  The distributed backend additionally honors ``--spool-dir PATH``
+(the shared work-queue directory that external ``repro worker``
+processes serve) and ``--local-workers N`` (worker processes the
+coordinator spawns itself; 0 = external only) — see DESIGN.md §8.
+Mining commands accept ``--mining-algorithm`` (default ``bitset``, the
+packed-bit fast path; every registered miner returns identical results,
+see DESIGN.md §6).
 """
 
 from __future__ import annotations
@@ -41,7 +49,7 @@ from repro.corpus.stats import corpus_stats
 from repro.experiments.base import ExperimentContext
 from repro.experiments.registry import available_experiments, run_experiment
 from repro.lexicon.builder import standard_lexicon
-from repro.models.ensemble import ensemble_curve, run_ensemble
+from repro.models.ensemble import ensemble_curves, run_ensemble
 from repro.models.params import ENGINES, CuisineSpec
 from repro.models.registry import (
     PAPER_MODELS,
@@ -52,10 +60,13 @@ from repro.rng import DEFAULT_SEED
 from repro.runtime import (
     BACKENDS,
     CurveCache,
+    DistributedConfig,
+    FaultPlan,
     RunCache,
     RuntimeConfig,
     execute_sweep,
     plan_grid,
+    run_worker,
     select_regions,
 )
 from repro.synthesis.worldgen import WorldKitchen
@@ -88,12 +99,35 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
             "vectorized)"
         ),
     )
+    parser.add_argument(
+        "--spool-dir", type=Path, default=None,
+        help=(
+            "distributed backend: shared work-queue directory served "
+            "by `repro worker` processes (default: a private temp "
+            "spool per map, local workers only)"
+        ),
+    )
+    parser.add_argument(
+        "--local-workers", type=int, default=None,
+        help=(
+            "distributed backend: worker processes the coordinator "
+            "spawns itself (default: --jobs; 0 = rely entirely on "
+            "external `repro worker` processes)"
+        ),
+    )
 
 
 def _runtime_from_args(args: argparse.Namespace) -> RuntimeConfig:
     """Build the RuntimeConfig a command's flags describe."""
+    distributed = None
+    if args.backend == "distributed":
+        distributed = DistributedConfig(
+            spool_dir=args.spool_dir,
+            local_workers=args.local_workers,
+        )
     return RuntimeConfig(
-        backend=args.backend, jobs=args.jobs, cache_dir=args.cache_dir
+        backend=args.backend, jobs=args.jobs, cache_dir=args.cache_dir,
+        distributed=distributed,
     )
 
 
@@ -213,6 +247,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_mining_flags(sweep)
     _add_runtime_flags(sweep)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve a distributed work-queue spool directory",
+        description=(
+            "Attach to a spool directory and serve it: claim tasks by "
+            "atomic rename, heartbeat while executing, write results "
+            "back.  Any `repro ... --backend distributed --spool-dir "
+            "DIR` coordinator sharing the directory (typically on a "
+            "shared filesystem) will use this worker.  Exits when the "
+            "spool's `stop` sentinel appears and the queue is empty "
+            "(create it with `touch DIR/stop`), after --idle-timeout "
+            "seconds without work, or after --max-tasks claims."
+        ),
+    )
+    worker.add_argument(
+        "--spool", type=Path, required=True,
+        help="the work-queue directory to serve",
+    )
+    worker.add_argument(
+        "--worker-id", default=None,
+        help="stable worker id for claims/heartbeats (default: w<pid>)",
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.2,
+        help="seconds between queue scans when idle (default: 0.2)",
+    )
+    worker.add_argument(
+        "--heartbeat-interval", type=float, default=1.0,
+        help=(
+            "seconds between heartbeat touches; keep well under the "
+            "coordinator's lease timeout (default: 1.0)"
+        ),
+    )
+    worker.add_argument(
+        "--idle-timeout", type=float, default=None,
+        help="exit after this much idle time (default: wait for stop)",
+    )
+    worker.add_argument(
+        "--max-tasks", type=int, default=None,
+        help="exit after claiming this many tasks (default: unlimited)",
+    )
+    worker.add_argument(
+        "--fault-plan", type=Path, default=None,
+        help=(
+            "JSON fault-injection plan to obey (testing; default: the "
+            "spool's faults.json when present)"
+        ),
+    )
 
     cache = sub.add_parser(
         "cache",
@@ -428,11 +511,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         mining = _mining_from_args(args)
         curve_cache = CurveCache(runtime.cache_dir)
         start = time.perf_counter()
-        for cell_runs in result.cells:
-            ensemble_curve(
-                cell_runs.runs, cell_runs.model_name, mining=mining,
-                runtime=runtime, curve_cache=curve_cache,
-            )
+        # One executor pass for the whole grid (ensemble_curves), not
+        # one pool per cell — same curves, a fraction of the overhead.
+        ensemble_curves(
+            [
+                (cell_runs.runs, cell_runs.model_name)
+                for cell_runs in result.cells
+            ],
+            mining=mining, runtime=runtime, curve_cache=curve_cache,
+        )
         # Also warm the empirical (per-cuisine corpus) curves, so a
         # later `repro experiment fig4` with matching parameters
         # reaches no miner at all — not just for the model curves.
@@ -542,6 +629,26 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    fault_plan = None
+    if args.fault_plan is not None:
+        fault_plan = FaultPlan.load(args.fault_plan)
+    summary = run_worker(
+        args.spool,
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+        heartbeat_interval=args.heartbeat_interval,
+        idle_timeout=args.idle_timeout,
+        max_tasks=args.max_tasks,
+        fault_plan=fault_plan,
+    )
+    print(
+        f"worker {summary.worker_id} done: {summary.claimed} claimed, "
+        f"{summary.completed} completed, {summary.failed} failed"
+    )
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -550,6 +657,7 @@ _COMMANDS = {
     "resolve": _cmd_resolve,
     "report": _cmd_report,
     "sweep": _cmd_sweep,
+    "worker": _cmd_worker,
     "cache": _cmd_cache,
 }
 

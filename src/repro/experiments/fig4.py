@@ -21,7 +21,7 @@ import numpy as np
 from repro.analysis.invariants import combination_curve
 from repro.analysis.model_eval import ModelEvaluation, evaluate_models
 from repro.experiments.base import ExperimentContext
-from repro.models.ensemble import ensemble_curve
+from repro.models.ensemble import ensemble_curves
 from repro.models.params import CuisineSpec
 from repro.models.registry import PAPER_MODELS, create_model
 from repro.runtime import execute_sweep, plan_grid, select_regions
@@ -185,20 +185,34 @@ def run_fig4(
     )
     sweep = execute_sweep(plan, runtime=context.runtime)
     curve_cache = context.curve_cache()
+    # Mine the whole (cuisine × model) grid in one executor pass
+    # instead of one pool per cell (ensemble_curves); per-cell averages
+    # are bit-identical to the per-cell path.
+    cells = [
+        (sweep.runs_for(name, code), name)
+        for code in codes
+        for name in model_names
+    ]
+    grid_curves = ensemble_curves(
+        cells, mining=context.mining, level=level,
+        lexicon=context.lexicon if level == "category" else None,
+        runtime=context.runtime, curve_cache=curve_cache,
+    )
     evaluations: dict[str, ModelEvaluation] = {}
-    for code in codes:
+    for position, code in enumerate(codes):
         empirical, _mining = combination_curve(
             context.dataset, code, context.lexicon,
             level=level, mining=context.mining, curve_cache=curve_cache,
         )
-        model_curves = {}
-        for name in model_names:
-            runs = sweep.runs_for(name, code)
-            model_curves[name] = ensemble_curve(
-                runs, name, mining=context.mining, level=level,
-                lexicon=context.lexicon if level == "category" else None,
-                runtime=context.runtime, curve_cache=curve_cache,
+        model_curves = dict(
+            zip(
+                model_names,
+                grid_curves[
+                    position * len(model_names):
+                    (position + 1) * len(model_names)
+                ],
             )
+        )
         evaluations[code] = evaluate_models(
             code, empirical, model_curves, level=level
         )

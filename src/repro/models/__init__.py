@@ -20,6 +20,7 @@ from repro.models.ensemble import (
     EnsembleResult,
     aggregate_ensemble,
     ensemble_curve,
+    ensemble_curves,
     run_ensemble,
 )
 from repro.models.fitness import (
@@ -65,6 +66,7 @@ __all__ = [
     "EnsembleResult",
     "aggregate_ensemble",
     "ensemble_curve",
+    "ensemble_curves",
     "run_ensemble",
     "FitnessStrategy",
     "RankBiasedFitness",

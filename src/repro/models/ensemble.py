@@ -41,6 +41,7 @@ __all__ = [
     "EnsembleResult",
     "aggregate_ensemble",
     "ensemble_curve",
+    "ensemble_curves",
     "mine_curve_task",
     "run_ensemble",
 ]
@@ -117,6 +118,126 @@ def mine_curve_task(task: CurveMiningTask) -> RankFrequencyCurve:
     return curve_from_mining(result, task.label)
 
 
+def ensemble_curves(
+    cells: list[tuple[tuple[EvolutionRun, ...] | list[EvolutionRun], str]],
+    mining: MiningConfig = DEFAULT_MINING,
+    level: str = "ingredient",
+    lexicon: Lexicon | None = None,
+    runtime: RuntimeConfig | None = None,
+    curve_cache: CurveCache | None = None,
+) -> list[RankFrequencyCurve]:
+    """Aggregate many ``(runs, label)`` cells, mining them in one pass.
+
+    The grid-mining entry point: a figure-4 style grid of
+    (model × cuisine) cells used to pay one executor fan-out *per
+    cell* — pool startup, probe, teardown, many times over.  Here every
+    cell's uncached :class:`CurveMiningTask` items are concatenated
+    into a single order-preserving
+    :func:`~repro.runtime.runner.parallel_map` call, so one pool (or
+    one distributed spool session) serves the whole grid, and the
+    per-cell averages are then assembled locally.  Results are
+    bit-identical to calling :func:`ensemble_curve` per cell: tasks are
+    pure, the map preserves order, and averaging happens per cell
+    either way.
+
+    When a curve cache is available (explicitly, or built from
+    ``runtime.cache_dir``), each run's mined frequencies are served
+    from disk when present and written back when mined, keyed by the
+    exact transaction content plus the mining config — a warm grid
+    performs zero mining calls (DESIGN.md §6).
+
+    Args:
+        cells: ``(runs, label)`` pairs; output order follows input.
+        mining: Support/size/algorithm configuration (shared).
+        level: ``"ingredient"`` or ``"category"``.
+        lexicon: Required for ``level="category"``.
+        runtime: Fan-out backend/jobs/cache; ``None`` = serial.
+        curve_cache: Explicit mined-curve cache (overrides
+            ``runtime.cache_dir``).
+
+    Returns:
+        One averaged curve per cell, aligned with ``cells``.
+    """
+    for runs, _label in cells:
+        if not runs:
+            raise ModelError("cannot aggregate zero runs")
+    if level == "category" and lexicon is None:
+        raise ModelError("category-level aggregation requires a lexicon")
+    config = runtime if runtime is not None else RuntimeConfig()
+    if curve_cache is None and config.cache_dir is not None:
+        curve_cache = CurveCache(config.cache_dir)
+
+    # Flatten to per-run units tagged with their cell: (cell, index,
+    # transactions).  All cache and mining bookkeeping below works on
+    # this flat list; cells only reappear at averaging time.
+    flat: list[tuple[int, int, object]] = []
+    for cell, (runs, _label) in enumerate(cells):
+        for index, run in enumerate(runs):
+            transactions = (
+                run.transactions
+                if level == "ingredient"
+                else _category_transactions(run, lexicon)  # type: ignore[arg-type]
+            )
+            flat.append((cell, index, transactions))
+
+    curves: list[RankFrequencyCurve | None] = [None] * len(flat)
+    keys: list[str] | None = None
+    pending = list(range(len(flat)))
+    if curve_cache is not None:
+        keys = [
+            curve_key(
+                transactions_fingerprint(transactions), mining, level=level
+            )
+            for _cell, _index, transactions in flat
+        ]
+        pending = []
+        for position, key in enumerate(keys):
+            cell, index, _transactions = flat[position]
+            frequencies = curve_cache.get(key)
+            # Guard the payload type: an entry that unpickles to the
+            # wrong shape (layout drift, damaged file) is a miss to
+            # re-mine, not a crash.
+            if (
+                isinstance(frequencies, np.ndarray)
+                and frequencies.ndim == 1
+            ):
+                curves[position] = RankFrequencyCurve(
+                    f"{cells[cell][1]}#{index}", frequencies
+                )
+            else:
+                pending.append(position)
+
+    if pending:
+        tasks = [
+            CurveMiningTask(
+                transactions=tuple(flat[position][2]),
+                mining=mining,
+                label=f"{cells[flat[position][0]][1]}#{flat[position][1]}",
+            )
+            for position in pending
+        ]
+        mined = parallel_map(mine_curve_task, tasks, runtime=config)
+        for position, curve in zip(pending, mined):
+            curves[position] = curve
+            if curve_cache is not None and keys is not None:
+                # Same policy as the run cache: a write failure must
+                # never discard mined results; stop writing instead.
+                try:
+                    curve_cache.put(keys[position], curve.frequencies)
+                except RunCacheError:
+                    curve_cache = None
+
+    averaged: list[RankFrequencyCurve] = []
+    cursor = 0
+    for runs, label in cells:
+        cell_curves = curves[cursor:cursor + len(runs)]
+        cursor += len(runs)
+        averaged.append(
+            average_curves(cell_curves, label)  # type: ignore[arg-type]
+        )
+    return averaged
+
+
 def ensemble_curve(
     runs: tuple[EvolutionRun, ...] | list[EvolutionRun],
     label: str,
@@ -128,79 +249,23 @@ def ensemble_curve(
 ) -> RankFrequencyCurve:
     """Aggregate runs into one rank-frequency curve at the given level.
 
-    Per-run mining fans out through
+    The single-cell case of :func:`ensemble_curves` (one ``(runs,
+    label)`` pair): per-run mining fans out through
     :func:`~repro.runtime.runner.parallel_map` as module-level
     :func:`mine_curve_task` calls over :class:`CurveMiningTask`
-    payloads, so ``backend="process"`` stays process-parallel (the old
-    closure degraded to threads).  The map preserves run order, so the
-    averaged curve is identical to the serial path on every backend.
-
-    When a curve cache is available (explicitly, or built from
-    ``runtime.cache_dir``), each run's mined frequencies are served from
-    disk when present and written back when mined, keyed by the exact
-    transaction content plus the mining config — a warm invocation
-    performs zero mining calls (DESIGN.md §6).
+    payloads, order-preserving and cache-aware, so the averaged curve
+    is identical to the serial path on every backend.  Grid callers
+    with many cells should call :func:`ensemble_curves` directly and
+    pay for one fan-out total.
     """
-    if not runs:
-        raise ModelError("cannot aggregate zero runs")
-    if level == "category" and lexicon is None:
-        raise ModelError("category-level aggregation requires a lexicon")
-    config = runtime if runtime is not None else RuntimeConfig()
-    if curve_cache is None and config.cache_dir is not None:
-        curve_cache = CurveCache(config.cache_dir)
-
-    per_run = [
-        run.transactions
-        if level == "ingredient"
-        else _category_transactions(run, lexicon)  # type: ignore[arg-type]
-        for run in runs
-    ]
-    curves: list[RankFrequencyCurve | None] = [None] * len(runs)
-    keys: list[str] | None = None
-    pending = list(range(len(runs)))
-    if curve_cache is not None:
-        keys = [
-            curve_key(
-                transactions_fingerprint(transactions), mining, level=level
-            )
-            for transactions in per_run
-        ]
-        pending = []
-        for index, key in enumerate(keys):
-            frequencies = curve_cache.get(key)
-            # Guard the payload type: an entry that unpickles to the
-            # wrong shape (layout drift, damaged file) is a miss to
-            # re-mine, not a crash.
-            if (
-                isinstance(frequencies, np.ndarray)
-                and frequencies.ndim == 1
-            ):
-                curves[index] = RankFrequencyCurve(
-                    f"{label}#{index}", frequencies
-                )
-            else:
-                pending.append(index)
-
-    if pending:
-        tasks = [
-            CurveMiningTask(
-                transactions=tuple(per_run[index]),
-                mining=mining,
-                label=f"{label}#{index}",
-            )
-            for index in pending
-        ]
-        mined = parallel_map(mine_curve_task, tasks, runtime=config)
-        for index, curve in zip(pending, mined):
-            curves[index] = curve
-            if curve_cache is not None and keys is not None:
-                # Same policy as the run cache: a write failure must
-                # never discard mined results; stop writing instead.
-                try:
-                    curve_cache.put(keys[index], curve.frequencies)
-                except RunCacheError:
-                    curve_cache = None
-    return average_curves(curves, label)  # type: ignore[arg-type]
+    return ensemble_curves(
+        [(runs, label)],
+        mining=mining,
+        level=level,
+        lexicon=lexicon,
+        runtime=runtime,
+        curve_cache=curve_cache,
+    )[0]
 
 
 def aggregate_ensemble(

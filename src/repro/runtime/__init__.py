@@ -6,9 +6,16 @@ statistics"), and every experiment driver bottlenecks on executing those
 independent runs.  This subsystem makes that fan-out a first-class,
 swappable concern:
 
-* :class:`RuntimeConfig` — backend ("serial" / "thread" / "process"),
-  worker count, optional cache directory;
+* :class:`RuntimeConfig` — backend ("serial" / "thread" / "process" /
+  "distributed"), worker count, optional cache directory, and the
+  distributed backend's :class:`DistributedConfig` policy;
 * :mod:`~repro.runtime.executor` — order-preserving map backends;
+* :mod:`~repro.runtime.distributed` — the file-based work-queue
+  backend: a spool directory, lease-based fault tolerance (bounded
+  retries, heartbeats, per-task timeouts), ``repro worker`` processes,
+  and structured :class:`TaskAttempt` records (DESIGN.md §8);
+* :mod:`~repro.runtime.faults` — fault injection (kill / hang / delay)
+  for proving the sweep survives worker failure bit-identically;
 * :mod:`~repro.runtime.runner` — deterministic run execution
   (:func:`execute_runs`) built on per-run integer seed streams,
   same-cell grouping of ``engine="batched"`` work into single stacked
@@ -41,12 +48,23 @@ from repro.runtime.cache import (
     fingerprint_many,
     run_fingerprint,
 )
-from repro.runtime.config import BACKENDS, RuntimeConfig
+from repro.runtime.config import BACKENDS, DistributedConfig, RuntimeConfig
 from repro.runtime.curve_cache import (
     CURVE_FORMAT_VERSION,
     CurveCache,
     curve_key,
     transactions_fingerprint,
+)
+from repro.runtime.distributed import (
+    DistributedExecutor,
+    LeaseLedger,
+    Spool,
+    TaskAttempt,
+    WorkerSummary,
+    clear_task_attempts,
+    run_worker,
+    signal_stop,
+    task_attempts,
 )
 from repro.runtime.executor import (
     Executor,
@@ -55,6 +73,7 @@ from repro.runtime.executor import (
     ThreadExecutor,
     get_executor,
 )
+from repro.runtime.faults import FaultPlan, FaultSpec
 from repro.runtime.runner import (
     BackendDegradation,
     BackendDegradationWarning,
@@ -89,19 +108,28 @@ __all__ = [
     "CacheStats",
     "CellRuns",
     "CurveCache",
+    "DistributedConfig",
+    "DistributedExecutor",
     "Executor",
+    "FaultPlan",
+    "FaultSpec",
+    "LeaseLedger",
     "PickleStore",
     "ProcessExecutor",
     "RunCache",
     "RunRequest",
     "RuntimeConfig",
     "SerialExecutor",
+    "Spool",
     "SweepCell",
     "SweepPlan",
     "SweepResult",
+    "TaskAttempt",
     "ThreadExecutor",
+    "WorkerSummary",
     "backend_degradations",
     "clear_backend_degradations",
+    "clear_task_attempts",
     "curve_key",
     "execute_batch",
     "execute_request",
@@ -113,6 +141,9 @@ __all__ = [
     "plan_cells",
     "plan_grid",
     "run_fingerprint",
+    "run_worker",
     "select_regions",
+    "signal_stop",
+    "task_attempts",
     "transactions_fingerprint",
 ]

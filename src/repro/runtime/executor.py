@@ -19,6 +19,11 @@ Backend selection notes:
   callable and the items must be picklable; the run-execution layer
   (:mod:`repro.runtime.runner`) only submits module-level functions and
   dataclass payloads, which satisfies that.
+* ``distributed`` — a file-based work queue served by local and/or
+  externally attached ``repro worker`` processes, with lease-based
+  fault tolerance (:mod:`repro.runtime.distributed`, DESIGN.md §8).
+  Same pickling constraints as ``process``; constructed lazily here so
+  the executor layer stays import-cycle-free.
 """
 
 from __future__ import annotations
@@ -129,10 +134,12 @@ _EXECUTORS: dict[str, type[Executor]] = {
 def get_executor(config: RuntimeConfig | None = None) -> Executor:
     """Build the executor for a runtime config.
 
-    ``jobs=1`` (the default) degrades *any* backend to
-    :class:`SerialExecutor` — parallel pools with one worker would pay
-    pool overhead for serial semantics, so the fallback is both the safe
-    and the fast choice.
+    ``jobs=1`` (the default) degrades the *in-process* parallel
+    backends to :class:`SerialExecutor` — pools with one worker would
+    pay pool overhead for serial semantics, so the fallback is both the
+    safe and the fast choice.  The distributed backend is exempt: even
+    a one-worker queue changes *where* work runs (external workers, a
+    shared spool), so it is built whenever requested.
 
     Args:
         config: Runtime configuration; ``None`` means serial.
@@ -142,6 +149,13 @@ def get_executor(config: RuntimeConfig | None = None) -> Executor:
             :class:`~repro.runtime.config.RuntimeConfig` construction).
     """
     config = config if config is not None else RuntimeConfig()
+    if config.backend == "distributed":
+        # Imported lazily: distributed builds *on* this module's
+        # Executor ABC and fallback pools, so a top-level import would
+        # cycle.
+        from repro.runtime.distributed import DistributedExecutor
+
+        return DistributedExecutor(config)
     jobs = config.resolve_jobs()
     if config.backend == "serial" or jobs <= 1:
         return SerialExecutor()

@@ -18,7 +18,6 @@ front).  Determinism is structural rather than incidental:
 from __future__ import annotations
 
 import pickle
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
@@ -26,6 +25,13 @@ from repro.errors import RunCacheError
 from repro.rng import rng_from_seed
 from repro.runtime.cache import RunCache, fingerprint_many, run_fingerprint
 from repro.runtime.config import RuntimeConfig
+from repro.runtime.degradation import (
+    BackendDegradation,
+    BackendDegradationWarning,
+    backend_degradations,
+    clear_backend_degradations,
+    record_degradation,
+)
 from repro.runtime.executor import get_executor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -49,67 +55,24 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
-class BackendDegradationWarning(UserWarning):
-    """Emitted when a ``process`` map silently ran on threads instead."""
+# Degradation records live in repro.runtime.degradation (shared with the
+# distributed backend, which cannot import this module without cycling);
+# re-exported here because this is where PR 5 introduced them.
 
 
-@dataclass(frozen=True)
-class BackendDegradation:
-    """A recorded backend degradation event.
-
-    Attributes:
-        callable_name: Qualified name of the offending callable.
-        requested: Backend the caller asked for.
-        effective: Backend the map actually ran on.
-        reason: Why the requested backend was unusable (the pickling
-            error, verbatim).
-    """
-
-    callable_name: str
-    requested: str
-    effective: str
-    reason: str
-
-
-#: Degradations observed in this process, one entry per distinct
-#: callable — the structured record behind the one-time warning.
-_DEGRADATIONS: dict[str, BackendDegradation] = {}
-
-
-def backend_degradations() -> tuple[BackendDegradation, ...]:
-    """Every backend degradation recorded so far, in observation order."""
-    return tuple(_DEGRADATIONS.values())
-
-
-def clear_backend_degradations() -> None:
-    """Reset the degradation record (tests; long-lived services)."""
-    _DEGRADATIONS.clear()
-
-
-def _callable_name(fn: Callable) -> str:
-    return (
-        f"{getattr(fn, '__module__', '?')}."
-        f"{getattr(fn, '__qualname__', repr(fn))}"
-    )
-
-
-def _record_degradation(fn: Callable, reason: str) -> None:
-    """Record a process→thread degradation and warn once per callable."""
-    name = _callable_name(fn)
-    if name in _DEGRADATIONS:
-        return
-    _DEGRADATIONS[name] = BackendDegradation(
-        callable_name=name,
-        requested="process",
+def _record_degradation(
+    fn: Callable, reason: str, requested: str = "process"
+) -> None:
+    """Record a →thread degradation and warn once per callable."""
+    record_degradation(
+        fn,
+        requested=requested,
         effective="thread",
         reason=reason,
-    )
-    warnings.warn(
-        f"parallel_map degraded backend='process' to threads for "
-        f"{name}: {reason}; pass a module-level function over "
-        f"picklable payloads to keep process parallelism",
-        BackendDegradationWarning,
-        stacklevel=3,
+        hint=(
+            "pass a module-level function over picklable payloads to "
+            f"keep {requested} parallelism"
+        ),
     )
 
 
@@ -292,6 +255,70 @@ def _plan_work(
     return work
 
 
+@dataclass(frozen=True)
+class _CacheThroughWork:
+    """A work item bundled with its cache destination and keys.
+
+    The distributed backend's unit of dispatch: the worker that computes
+    the runs also writes them into the shared
+    :class:`~repro.runtime.cache.RunCache` (keyed per run, aligned with
+    the item's seed order), making the cache directory the result
+    rendezvous — an interrupted sweep resumes from whatever any worker
+    finished, even if the coordinator never saw it.
+    """
+
+    item: "RunRequest | BatchRequest"
+    cache_dir: str
+    keys: tuple[str, ...]
+
+
+def _execute_work_write_through(
+    work: _CacheThroughWork,
+) -> list["EvolutionRun"]:
+    """Execute one work item and write its runs straight into the cache.
+
+    Module-level so the distributed workers can pickle it.  A cache
+    write failure on the worker is tolerated — results still travel
+    back through the spool; the cache is the resumability layer, not
+    the only channel.  Re-executed attempts (a reclaimed task) simply
+    overwrite with bit-identical payloads: runs are pure functions of
+    their request, and cache puts are atomic.
+    """
+    runs = _execute_work(work.item)
+    try:
+        cache = RunCache(work.cache_dir)
+        for key, run in zip(work.keys, runs):
+            cache.put(key, run)
+    except RunCacheError:
+        pass
+    return runs
+
+
+def _plan_write_through(
+    work: Sequence["RunRequest | BatchRequest"],
+    keys: Sequence[str],
+    pending: Sequence[int],
+    cache_dir: str,
+) -> list[_CacheThroughWork]:
+    """Pair each planned work item with the cache keys of its runs."""
+    wrapped: list[_CacheThroughWork] = []
+    cursor = 0
+    for item in work:
+        count = len(item.seeds) if isinstance(item, BatchRequest) else 1
+        wrapped.append(
+            _CacheThroughWork(
+                item=item,
+                cache_dir=cache_dir,
+                keys=tuple(
+                    keys[pending[cursor + offset]]
+                    for offset in range(count)
+                ),
+            )
+        )
+        cursor += count
+    return wrapped
+
+
 def dispatch_requests(
     requests: Sequence[RunRequest],
     keys: Sequence[str] | None,
@@ -339,13 +366,29 @@ def dispatch_requests(
 
     if pending:
         executor = get_executor(config)
-        computed_lists = executor.map(
-            _execute_work, _plan_work(requests, pending)
+        work = _plan_work(requests, pending)
+        # Under the distributed backend the *workers* write fresh runs
+        # into the shared cache directory (the result rendezvous,
+        # DESIGN.md §8) and the coordinator skips its own puts; every
+        # other backend writes back here, after the map.
+        write_through = (
+            config.backend == "distributed"
+            and cache is not None
+            and keys is not None
         )
+        if write_through:
+            computed_lists = executor.map(
+                _execute_work_write_through,
+                _plan_write_through(
+                    work, keys, pending, str(cache.directory)
+                ),
+            )
+        else:
+            computed_lists = executor.map(_execute_work, work)
         computed = [run for runs in computed_lists for run in runs]
         for index, run in zip(pending, computed):
             results[index] = run
-            if cache is not None and keys is not None:
+            if cache is not None and keys is not None and not write_through:
                 # The cache is an optimization: a write failure
                 # (disk full, permissions, unpicklable payload) must
                 # never discard computed results.  Stop writing after
@@ -418,14 +461,16 @@ def parallel_map(
     runtime: RuntimeConfig | None = None,
     prefer_thread: bool = False,
 ) -> list[R]:
-    """Order-preserving map that honors ``process`` for picklable work.
+    """Order-preserving map honoring ``process``/``distributed`` for
+    picklable work.
 
     Module-level callables over picklable payloads — e.g. the per-run
     mining tasks of :func:`~repro.models.ensemble.ensemble_curve` — run
-    truly process-parallel under ``backend="process"``.  Work that
-    cannot cross a process boundary (closure/lambda callables — probed
-    up front together with the first item — or a later item/result
-    that fails to pickle mid-map) degrades to the thread backend; the
+    truly process-parallel under ``backend="process"`` and through the
+    work queue under ``backend="distributed"``.  Work that cannot
+    cross a process boundary (closure/lambda callables — probed up
+    front together with the first item — or a later item/result that
+    fails to pickle mid-map) degrades to the thread backend; the
     degradation is no longer silent: a one-time
     :class:`BackendDegradationWarning` names the callable and the
     pickling error, and the event is recorded
@@ -445,7 +490,10 @@ def parallel_map(
             backend and a warning would be noise.
     """
     config = runtime if runtime is not None else RuntimeConfig()
-    if config.backend == "process" and config.resolve_jobs() > 1:
+    needs_pickling = config.backend == "distributed" or (
+        config.backend == "process" and config.resolve_jobs() > 1
+    )
+    if needs_pickling:
         items = list(items)
         thread_config = RuntimeConfig(
             backend="thread", jobs=config.jobs, cache_dir=config.cache_dir
@@ -454,7 +502,7 @@ def parallel_map(
             return get_executor(thread_config).map(fn, items)
         reason = _pickling_blocker(fn, items[0]) if items else None
         if reason is not None:
-            _record_degradation(fn, reason)
+            _record_degradation(fn, reason, requested=config.backend)
             return get_executor(thread_config).map(fn, items)
         try:
             return get_executor(config).map(fn, items)
@@ -468,6 +516,7 @@ def parallel_map(
                 fn,
                 f"map failed to cross the process boundary "
                 f"({type(exc).__name__}: {exc})",
+                requested=config.backend,
             )
             return get_executor(thread_config).map(fn, items)
     return get_executor(config).map(fn, items)
