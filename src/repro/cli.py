@@ -16,6 +16,8 @@ Subcommands::
                         stopped; pairs with ``--backend distributed``
     repro cache       — inspect (`stats`), empty (`clear`), or age-out
                         (`prune`) a cache directory (runs + mined curves)
+    repro spool       — inspect (`stats`) or sweep the dead debris out
+                        of (`compact`) a work-queue spool directory
 
 Every stochastic command accepts ``--seed`` for exact reproducibility.
 Commands that execute model ensembles (``experiment``, ``evolve``,
@@ -29,6 +31,9 @@ runs.  The distributed backend additionally honors ``--spool-dir PATH``
 (the shared work-queue directory that external ``repro worker``
 processes serve) and ``--local-workers N`` (worker processes the
 coordinator spawns itself; 0 = external only) — see DESIGN.md §8.
+With ``--cache-dir`` set, ``--checkpoint-every N`` snapshots engine
+state every N steps beside the run cache so an interrupted sweep
+resumes bit-identically from its latest valid snapshot (DESIGN.md §9).
 Mining commands accept ``--mining-algorithm`` (default ``bitset``, the
 packed-bit fast path; every registered miner returns identical results,
 see DESIGN.md §6).
@@ -64,10 +69,12 @@ from repro.runtime import (
     FaultPlan,
     RunCache,
     RuntimeConfig,
+    compact_spool,
     execute_sweep,
     plan_grid,
     run_worker,
     select_regions,
+    spool_stats,
 )
 from repro.synthesis.worldgen import WorldKitchen
 from repro.viz.ascii import render_table
@@ -115,6 +122,14 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
             "external `repro worker` processes)"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None,
+        help=(
+            "snapshot engine state every N steps beside the run cache "
+            "so an interrupted run resumes bit-identically (requires "
+            "--cache-dir; default: no checkpointing — see DESIGN.md §9)"
+        ),
+    )
 
 
 def _runtime_from_args(args: argparse.Namespace) -> RuntimeConfig:
@@ -124,10 +139,12 @@ def _runtime_from_args(args: argparse.Namespace) -> RuntimeConfig:
         distributed = DistributedConfig(
             spool_dir=args.spool_dir,
             local_workers=args.local_workers,
+            checkpoint_every=args.checkpoint_every,
         )
     return RuntimeConfig(
         backend=args.backend, jobs=args.jobs, cache_dir=args.cache_dir,
         distributed=distributed,
+        checkpoint_every=None if distributed else args.checkpoint_every,
     )
 
 
@@ -312,6 +329,34 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--max-age-days", type=float, default=None,
         help="prune: remove entries older than this many days",
+    )
+
+    spool = sub.add_parser(
+        "spool",
+        help="inspect or compact a work-queue spool directory",
+        description=(
+            "`stats` prints one read-only snapshot of a spool: queue "
+            "depth, claimed/stale leases, worker liveness, per-outcome "
+            "attempt counts and debris.  `compact` removes exactly the "
+            "dead debris — stale claims and heartbeats, long-gone "
+            "worker markers, orphaned results and stranded atomic-write "
+            "temps — judged by age against --stale-after; live state "
+            "and pending tasks are never touched.  Both run safely "
+            "beside an active map."
+        ),
+    )
+    spool.add_argument("action", choices=("stats", "compact"))
+    spool.add_argument(
+        "--spool", type=Path, required=True, dest="spool_dir",
+        help="the work-queue directory to inspect or compact",
+    )
+    spool.add_argument(
+        "--stale-after", type=float, default=60.0,
+        help=(
+            "seconds without a heartbeat/mtime touch before state "
+            "counts as dead (default: 60; keep well above the fleet's "
+            "heartbeat interval)"
+        ),
     )
     return parser
 
@@ -649,6 +694,47 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_spool(args: argparse.Namespace) -> int:
+    if args.action == "compact":
+        removed = compact_spool(args.spool_dir, stale_after=args.stale_after)
+        print(render_table(
+            ("Debris", "Removed"),
+            [
+                ("stale claims", removed.stale_claims),
+                ("orphan heartbeats", removed.orphan_heartbeats),
+                ("dead worker markers", removed.dead_workers),
+                ("stale results", removed.stale_results),
+                ("orphan temp files", removed.orphan_tmp),
+                ("total", removed.total),
+            ],
+            title=(
+                f"Compacted {args.spool_dir} "
+                f"(stale after {args.stale_after:g}s)"
+            ),
+        ))
+        return 0
+    stats = spool_stats(args.spool_dir, stale_after=args.stale_after)
+    rows: list[tuple[str, object]] = [
+        ("pending tasks", stats.pending_tasks),
+        ("claimed", stats.claimed),
+        ("stale claims", stats.stale_claims),
+        ("results waiting", stats.results),
+        ("live workers", stats.live_workers),
+        ("dead workers", stats.dead_workers),
+        ("orphan temp files", stats.orphan_tmp),
+        ("stop signaled", "yes" if stats.stop_signaled else "no"),
+    ]
+    for outcome in sorted(stats.attempts):
+        rows.append((f"attempts[{outcome}]", stats.attempts[outcome]))
+    print(render_table(
+        ("Quantity", "Value"), rows,
+        title=(
+            f"Spool {args.spool_dir} (stale after {args.stale_after:g}s)"
+        ),
+    ))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -659,6 +745,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "worker": _cmd_worker,
     "cache": _cmd_cache,
+    "spool": _cmd_spool,
 }
 
 

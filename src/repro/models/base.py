@@ -211,6 +211,7 @@ class CulinaryEvolutionModel(abc.ABC):
         seed: SeedLike = None,
         record_history: bool = False,
         engine: str | None = None,
+        checkpointer: "object | None" = None,
     ) -> EvolutionRun:
         """Simulate one cuisine evolution (Algorithm 1).
 
@@ -229,6 +230,12 @@ class CulinaryEvolutionModel(abc.ABC):
                 four paper models, while CM-V supports ``"vectorized"``
                 only (a batched request on it degrades there); see
                 :meth:`resolve_engine`.
+            checkpointer: Optional
+                :class:`repro.runtime.checkpoint.RunCheckpointer` for
+                crash-consistent periodic snapshots and bit-identical
+                resume (DESIGN.md §9).  Honored by the vectorized and
+                batched engines; the reference engine ignores it (it is
+                the executable specification, not a production path).
 
         Returns:
             The completed :class:`EvolutionRun`.
@@ -242,13 +249,21 @@ class CulinaryEvolutionModel(abc.ABC):
             # run bit-identical to the vectorized engine regardless of
             # batch composition.
             return run_batched(
-                self, spec, [rng], record_history=record_history
+                self,
+                spec,
+                [rng],
+                record_history=record_history,
+                checkpointer=checkpointer,
             )[0]
         if resolved == "vectorized":
             from repro.models.vectorized import run_vectorized
 
             return run_vectorized(
-                self, spec, rng=rng, record_history=record_history
+                self,
+                spec,
+                rng=rng,
+                record_history=record_history,
+                checkpointer=checkpointer,
             )
         fitness_values = np.asarray(
             self.fitness.assign(spec.ingredient_ids, rng), dtype=np.float64

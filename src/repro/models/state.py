@@ -30,6 +30,7 @@ Shared invariants (enforced by the property tests):
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -364,3 +365,49 @@ class ArrayEvolutionState:
         return [
             frozenset(map(id_of, recipe)) for recipe in self.recipes
         ]
+
+    # ------------------------------------------------------------------
+    # Checkpointing (DESIGN.md §9)
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """A picklable deep snapshot of the mutable state.
+
+        Everything :meth:`restore` needs that is not derivable from the
+        spec: the containers are copied (the engine keeps mutating the
+        originals after the snapshot), fitness is immutable-by-contract
+        but cheap enough to copy anyway, and the trace counters travel
+        as a plain dict.  ``category_codes`` is deliberately absent —
+        it is a pure function of the spec and is recomputed on restore.
+        """
+        return {
+            "fitness": list(self.fitness),
+            "pool": list(self.pool),
+            "remaining": list(self.remaining),
+            "pool_by_code": [list(members) for members in self.pool_by_code],
+            "recipes": [list(recipe) for recipe in self.recipes],
+            "trace": dataclasses.asdict(self.trace),
+        }
+
+    @classmethod
+    def restore(cls, spec: CuisineSpec, payload: dict) -> "ArrayEvolutionState":
+        """Rebuild a state from :meth:`export_state` output.
+
+        Bypasses ``__init__`` entirely — the constructor consumes RNG
+        draws (the pool/recipe ``choice`` sequence), and a resumed run
+        must consume *no* draws the uninterrupted run would not.
+        """
+        state = object.__new__(cls)
+        state.spec = spec
+        state.fitness = list(payload["fitness"])
+        state.category_codes = [
+            CATEGORY_CODES[category] for category in spec.categories
+        ]
+        state.pool = list(payload["pool"])
+        state.remaining = list(payload["remaining"])
+        state.pool_by_code = [
+            list(members) for members in payload["pool_by_code"]
+        ]
+        state.recipes = [list(recipe) for recipe in payload["recipes"]]
+        state.trace = EvolutionTraceCounters(**payload["trace"])
+        return state

@@ -97,12 +97,44 @@ class UniformBuffer:
         self._index = index + 1
         return float(self._buf[index])
 
+    def export_state(self) -> dict:
+        """Picklable snapshot of the buffered block and cursor.
+
+        The generator's own state is *not* included — the checkpoint
+        layer snapshots ``rng.bit_generator.state`` separately, because
+        the generator also serves full-block bypass draws outside the
+        buffer (DESIGN.md §9).
+        """
+        return {
+            "block": self._buf.copy(),
+            "index": self._index,
+            "size": self._size,
+        }
+
+    @classmethod
+    def restore(
+        cls, rng: np.random.Generator, payload: dict
+    ) -> "UniformBuffer":
+        """Rebuild a buffer from :meth:`export_state` output.
+
+        Bypasses ``__init__`` — the constructor draws a first block,
+        and a restored buffer must resume the snapshot's block and
+        cursor without consuming any draws.
+        """
+        buffer = object.__new__(cls)
+        buffer._rng = rng
+        buffer._size = int(payload["size"])
+        buffer._buf = np.array(payload["block"], dtype=np.float64)
+        buffer._index = int(payload["index"])
+        return buffer
+
 
 def run_vectorized(
     model: "CulinaryEvolutionModel",
     spec: "CuisineSpec",
     rng: np.random.Generator,
     record_history: bool = False,
+    checkpointer: "object | None" = None,
 ) -> "EvolutionRun":
     """Execute one Algorithm 1 run with batched draws.
 
@@ -117,6 +149,13 @@ def run_vectorized(
         rng: The run's generator (initialization draws use it directly;
             the main loop consumes it through a :class:`UniformBuffer`).
         record_history: Also record the ``(m, n)`` trajectory.
+        checkpointer: Optional :class:`~repro.runtime.checkpoint.
+            RunCheckpointer`.  A *step* is one loop iteration (one pool
+            growth, one recipe, or one whole NM batch); after each, the
+            checkpointer may snapshot the complete mid-run state —
+            generator, buffer block + cursor, state containers,
+            counters, history — and a later call that finds a snapshot
+            resumes from it bit-identically (DESIGN.md §9).
 
     Raises:
         ModelError: If the model class does not support the vectorized
@@ -131,20 +170,30 @@ def run_vectorized(
             "vectorized engine; run it with engine='reference'"
         )
     params = model.params
-    fitness_values = np.asarray(
-        model.fitness.assign(spec.ingredient_ids, rng), dtype=np.float64
-    )
-    n0 = min(params.derive_initial_recipes(spec.phi), spec.n_recipes)
-    state = ArrayEvolutionState(
-        spec=spec,
-        fitness=fitness_values,
-        rng=rng,
-        initial_pool_size=params.initial_pool_size,
-        initial_recipes=n0,
-    )
+    snapshot = checkpointer.load() if checkpointer is not None else None
+    if snapshot is None:
+        fitness_values = np.asarray(
+            model.fitness.assign(spec.ingredient_ids, rng), dtype=np.float64
+        )
+        n0 = min(params.derive_initial_recipes(spec.phi), spec.n_recipes)
+        state = ArrayEvolutionState(
+            spec=spec,
+            fitness=fitness_values,
+            rng=rng,
+            initial_pool_size=params.initial_pool_size,
+            initial_recipes=n0,
+        )
+        buffer = UniformBuffer(rng)
+    else:
+        # Resume: every draw the fresh path would have consumed by this
+        # step is encoded in the restored generator + buffer cursor, so
+        # the continuation replays the uninterrupted stream exactly.
+        rng.bit_generator.state = snapshot["rng_state"]
+        n0 = snapshot["n0"]
+        state = ArrayEvolutionState.restore(spec, snapshot["state"])
+        buffer = UniformBuffer.restore(rng, snapshot["buffer"])
 
     # Hot-loop locals (attribute lookups pulled out of the loop).
-    buffer = UniformBuffer(rng)
     take = buffer.take
     one = buffer.one
     pool = state.pool
@@ -185,13 +234,49 @@ def run_vectorized(
         min_size = model.min_size
         max_size = model.max_size
 
-    m = len(pool)
-    n = len(recipes)
-    attempted = accepted = 0
-    rejected_fitness = rejected_duplicate = skipped_no_candidate = 0
-    history: list[tuple[int, int]] | None = (
-        [(m, n)] if record_history else None
-    )
+    if snapshot is None:
+        m = len(pool)
+        n = len(recipes)
+        attempted = accepted = 0
+        rejected_fitness = rejected_duplicate = skipped_no_candidate = 0
+        step = 0
+        history: list[tuple[int, int]] | None = (
+            [(m, n)] if record_history else None
+        )
+    else:
+        m = snapshot["m"]
+        n = snapshot["n"]
+        attempted = snapshot["attempted"]
+        accepted = snapshot["accepted"]
+        rejected_fitness = snapshot["rejected_fitness"]
+        rejected_duplicate = snapshot["rejected_duplicate"]
+        skipped_no_candidate = snapshot["skipped_no_candidate"]
+        step = snapshot["step"]
+        history = (
+            list(snapshot["history"]) if record_history else None
+        )
+
+    if checkpointer is not None:
+        def _capture() -> dict:
+            # Pure reads of live locals/state — consumes no RNG, so a
+            # snapshotted step's stream position equals the
+            # uninterrupted run's (the bit-identity requirement).
+            return {
+                "engine": "vectorized",
+                "step": step,
+                "rng_state": rng.bit_generator.state,
+                "buffer": buffer.export_state(),
+                "state": state.export_state(),
+                "m": m,
+                "n": n,
+                "n0": n0,
+                "attempted": attempted,
+                "accepted": accepted,
+                "rejected_fitness": rejected_fitness,
+                "rejected_duplicate": rejected_duplicate,
+                "skipped_no_candidate": skipped_no_candidate,
+                "history": None if history is None else list(history),
+            }
 
     while n < target:
         # The branch predicate must be the exact float expression of the
@@ -250,6 +335,9 @@ def run_vectorized(
                     (m, past) for past in range(n + 1, n + steps + 1)
                 )
             n += steps
+            step += 1
+            if checkpointer is not None:
+                checkpointer.after_step(step, _capture)
             continue
         elif variable_mode:
             # CM-V: the replacement step of CM-R plus size-changing
@@ -338,6 +426,9 @@ def run_vectorized(
             n += 1
         if history is not None:
             history.append((m, n))
+        step += 1
+        if checkpointer is not None:
+            checkpointer.after_step(step, _capture)
 
     trace = state.trace
     trace.recipes_added = n - n0

@@ -14,8 +14,18 @@ swappable concern:
   backend: a spool directory, lease-based fault tolerance (bounded
   retries, heartbeats, per-task timeouts), ``repro worker`` processes,
   and structured :class:`TaskAttempt` records (DESIGN.md §8);
-* :mod:`~repro.runtime.faults` — fault injection (kill / hang / delay)
-  for proving the sweep survives worker failure bit-identically;
+* :mod:`~repro.runtime.faults` — fault injection (kill / hang / delay /
+  kill_at_step) for proving the sweep survives worker failure
+  bit-identically;
+* :mod:`~repro.runtime.checkpoint` — crash-consistent mid-run
+  snapshots (:class:`CheckpointStore` / :class:`RunCheckpointer`) so
+  an interrupted run resumes bit-identically from its latest valid
+  snapshot instead of replaying from step 0 (DESIGN.md §9);
+* :mod:`~repro.runtime.integrity` — structured, queryable
+  :class:`CacheCorruption` records for every corrupt entry a store
+  evicts or quarantines;
+* :mod:`~repro.runtime.spool_tools` — spool telemetry and debris
+  compaction behind ``repro spool stats|compact``;
 * :mod:`~repro.runtime.runner` — deterministic run execution
   (:func:`execute_runs`) built on per-run integer seed streams,
   same-cell grouping of ``engine="batched"`` work into single stacked
@@ -48,6 +58,15 @@ from repro.runtime.cache import (
     fingerprint_many,
     run_fingerprint,
 )
+from repro.runtime.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointPolicy,
+    CheckpointStore,
+    ResumeEvent,
+    RunCheckpointer,
+    clear_resume_events,
+    resume_events,
+)
 from repro.runtime.config import BACKENDS, DistributedConfig, RuntimeConfig
 from repro.runtime.curve_cache import (
     CURVE_FORMAT_VERSION,
@@ -74,6 +93,12 @@ from repro.runtime.executor import (
     get_executor,
 )
 from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.runtime.integrity import (
+    CacheCorruption,
+    CacheCorruptionWarning,
+    cache_corruptions,
+    clear_cache_corruptions,
+)
 from repro.runtime.runner import (
     BackendDegradation,
     BackendDegradationWarning,
@@ -96,6 +121,12 @@ from repro.runtime.sweep import (
     plan_grid,
     select_regions,
 )
+from repro.runtime.spool_tools import (
+    SpoolCompaction,
+    SpoolStats,
+    compact_spool,
+    spool_stats,
+)
 
 __all__ = [
     "BACKENDS",
@@ -103,10 +134,15 @@ __all__ = [
     "BackendDegradationWarning",
     "BatchRequest",
     "CACHE_FORMAT_VERSION",
+    "CHECKPOINT_FORMAT_VERSION",
     "CURVE_FORMAT_VERSION",
+    "CacheCorruption",
+    "CacheCorruptionWarning",
     "CacheDiskStats",
     "CacheStats",
     "CellRuns",
+    "CheckpointPolicy",
+    "CheckpointStore",
     "CurveCache",
     "DistributedConfig",
     "DistributedExecutor",
@@ -116,11 +152,15 @@ __all__ = [
     "LeaseLedger",
     "PickleStore",
     "ProcessExecutor",
+    "ResumeEvent",
     "RunCache",
+    "RunCheckpointer",
     "RunRequest",
     "RuntimeConfig",
     "SerialExecutor",
     "Spool",
+    "SpoolCompaction",
+    "SpoolStats",
     "SweepCell",
     "SweepPlan",
     "SweepResult",
@@ -128,8 +168,12 @@ __all__ = [
     "ThreadExecutor",
     "WorkerSummary",
     "backend_degradations",
+    "cache_corruptions",
     "clear_backend_degradations",
+    "clear_cache_corruptions",
+    "clear_resume_events",
     "clear_task_attempts",
+    "compact_spool",
     "curve_key",
     "execute_batch",
     "execute_request",
@@ -140,10 +184,12 @@ __all__ = [
     "parallel_map",
     "plan_cells",
     "plan_grid",
+    "resume_events",
     "run_fingerprint",
     "run_worker",
     "select_regions",
     "signal_stop",
+    "spool_stats",
     "task_attempts",
     "transactions_fingerprint",
 ]

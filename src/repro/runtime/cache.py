@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, ClassVar, Mapping, Sequence
 import numpy as np
 
 from repro.errors import RunCacheError
+from repro.runtime.integrity import record_corruption
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.models.base import CulinaryEvolutionModel, EvolutionRun
@@ -260,7 +261,12 @@ class PickleStore:
         """Load a cached payload, or ``None`` on miss.
 
         Corrupt or unreadable entries count as misses and are removed so
-        they do not poison every future lookup.
+        they do not poison every future lookup.  The eviction is not
+        silent: it is recorded as a structured
+        :class:`~repro.runtime.integrity.CacheCorruption` (queryable via
+        :func:`~repro.runtime.integrity.cache_corruptions`) with a
+        one-time warning per store — a flaky shared disk must look
+        different from a cold cache.
         """
         path = self.path_for(key)
         try:
@@ -270,12 +276,19 @@ class PickleStore:
             self.stats.misses += 1
             return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+                ImportError, IndexError) as exc:
             self.stats.misses += 1
             try:
                 path.unlink()
             except OSError:
                 pass
+            record_corruption(
+                store=type(self).__name__,
+                path=path,
+                kind="unreadable-entry",
+                detail=f"{type(exc).__name__}: {exc}",
+                action="removed",
+            )
             return None
         self.stats.hits += 1
         return payload
@@ -327,15 +340,37 @@ class PickleStore:
             newest_mtime=newest,
         )
 
+    def _tmp_glob(self) -> str:
+        """Glob matching this store's in-flight temp files.
+
+        :meth:`put` writes through ``path.with_suffix(".tmp.<pid>")``,
+        which drops the entry name's final ``.pkl`` — e.g. a
+        ``<key>.run.pkl`` entry's temp is ``<key>.run.tmp.<pid>`` — so
+        the pattern is suffix-specific and never matches a sibling
+        store's temps.
+        """
+        return f"*{self.suffix[: -len('.pkl')]}.tmp.*"
+
+    def orphan_tmp_paths(self) -> list[Path]:
+        """Leftover temp files from writers killed mid-:meth:`put`.
+
+        A crash in the window between the temp write and the atomic
+        rename strands a ``*.tmp.<pid>`` file that no later operation
+        would otherwise touch; :meth:`clear` removes them all and
+        :meth:`prune_older_than` removes the stale ones.
+        """
+        return sorted(self.directory.glob(self._tmp_glob()))
+
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry and orphan temp; returns the number removed."""
         removed = 0
-        for path in self.directory.glob(f"*{self.suffix}"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in (f"*{self.suffix}", self._tmp_glob()):
+            for path in self.directory.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed
 
     def prune_older_than(
@@ -349,6 +384,9 @@ class PickleStore:
         — :meth:`get` never refreshes it — so an entry older than the
         cutoff is removed even if it was read recently.  Entries that
         vanish mid-scan (a concurrent clear or prune) are skipped.
+        Orphaned temp files past the cutoff are removed too (age-gated,
+        not unconditionally: a fresh temp may be a concurrent writer's
+        in-flight :meth:`put`).
 
         Args:
             max_age_seconds: Age threshold; entries strictly older are
@@ -372,13 +410,14 @@ class PickleStore:
             now = time.time()
         cutoff = now - max_age_seconds
         removed = 0
-        for path in self.directory.glob(f"*{self.suffix}"):
-            try:
-                if path.stat().st_mtime < cutoff:
-                    path.unlink()
-                    removed += 1
-            except OSError:
-                continue
+        for pattern in (f"*{self.suffix}", self._tmp_glob()):
+            for path in self.directory.glob(pattern):
+                try:
+                    if path.stat().st_mtime < cutoff:
+                        path.unlink()
+                        removed += 1
+                except OSError:
+                    continue
         return removed
 
 

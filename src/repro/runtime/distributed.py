@@ -64,6 +64,7 @@ from repro.runtime.executor import (
     ProcessExecutor,
     SerialExecutor,
 )
+from repro.runtime.checkpoint import disarm_kill, resume_events
 from repro.runtime.faults import FaultPlan, inject_fault
 
 __all__ = [
@@ -456,6 +457,9 @@ class TaskAttempt:
         error: Failure reason for non-completed outcomes.
         elapsed_seconds: Worker-measured execution time for completed
             attempts.
+        resumed_from_step: Engine step of the checkpoint snapshot this
+            attempt resumed from (DESIGN.md §9); ``None`` when the
+            attempt started from scratch (or checkpointing was off).
     """
 
     task_index: int
@@ -464,6 +468,7 @@ class TaskAttempt:
     worker: str | None = None
     error: str | None = None
     elapsed_seconds: float | None = None
+    resumed_from_step: int | None = None
 
 
 #: Attempts observed in this process, in observation order — the
@@ -622,6 +627,7 @@ def run_worker(
                     if spec is not None:
                         inject_fault(spec)
                 started = time.perf_counter()
+                events_before = len(resume_events())
                 try:
                     task: SpoolTask = pickle.loads(claim_path.read_bytes())
                     value = task.fn(task.item)
@@ -638,10 +644,20 @@ def run_worker(
                         "error": f"{type(exc).__name__}: {exc}",
                     }
                     summary.failed += 1
+                # A task that loaded a checkpoint snapshot records a
+                # ResumeEvent; surface the (latest) resumed step on the
+                # result payload so the coordinator's TaskAttempt ledger
+                # shows mid-run recovery, not just re-execution.
+                resumed = resume_events()[events_before:]
                 payload.update(
                     worker=worker_id,
                     attempt=int(attempt_tag[1:]),
                     elapsed=time.perf_counter() - started,
+                    resumed_from_step=(
+                        max(event.step for event in resumed)
+                        if resumed
+                        else None
+                    ),
                 )
                 try:
                     _atomic_write_bytes(
@@ -656,6 +672,10 @@ def run_worker(
                     # the coordinator reclaims and retries elsewhere.
                     pass
             finally:
+                # An armed kill_at_step that never tripped (the task's
+                # engine ignored checkpointers, or the run was shorter
+                # than at_step) must not leak into a later claim.
+                disarm_kill()
                 hb_stop.set()
                 hb.join(timeout=1.0)
                 for leftover in (claim_path, hb_path):
@@ -921,6 +941,7 @@ class _MapSession:
                         outcome="completed",
                         worker=payload.get("worker"),
                         elapsed_seconds=payload.get("elapsed"),
+                        resumed_from_step=payload.get("resumed_from_step"),
                     ))
             else:
                 error = payload.get("error") or "task failed"

@@ -17,13 +17,20 @@ front).  Determinism is structural rather than incidental:
 
 from __future__ import annotations
 
+import hashlib
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import RunCacheError
 from repro.rng import rng_from_seed
 from repro.runtime.cache import RunCache, fingerprint_many, run_fingerprint
+from repro.runtime.checkpoint import (
+    CheckpointPolicy,
+    CheckpointStore,
+    RunCheckpointer,
+    consume_armed_kill,
+)
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.degradation import (
     BackendDegradation,
@@ -109,6 +116,11 @@ class RunRequest:
             (``"reference"``, ``"vectorized"`` or ``"batched"``;
             ``None`` uses the model's ``params.engine``).  The cache
             key covers the resolved engine either way.
+        checkpoint: Optional crash-consistency policy (DESIGN.md §9).
+            An execution concern, not part of the run's identity:
+            :meth:`fingerprint` deliberately excludes it, so
+            checkpointed and plain executions of the same run share a
+            cache entry.
     """
 
     model: "CulinaryEvolutionModel"
@@ -116,6 +128,7 @@ class RunRequest:
     seed: int
     record_history: bool = False
     engine: str | None = None
+    checkpoint: CheckpointPolicy | None = None
 
     def fingerprint(self) -> str:
         """Cache key for this request's complete inputs."""
@@ -125,14 +138,58 @@ class RunRequest:
         )
 
 
+def _checkpoint_key(item: "RunRequest | BatchRequest") -> str:
+    """Stable snapshot key for a work item.
+
+    Single runs key on their cache fingerprint; a batch keys on the
+    digest of its runs' fingerprints in seed order — any change to the
+    batch's composition (or any member's inputs) keys differently, so
+    a resumed batch can never load another batch's snapshot.
+    """
+    if isinstance(item, BatchRequest):
+        parts = fingerprint_many(
+            item.model, item.spec, list(item.seeds),
+            item.record_history, item.engine,
+        )
+        return hashlib.sha256("\n".join(parts).encode("ascii")).hexdigest()
+    return item.fingerprint()
+
+
+def _checkpointer_for(
+    item: "RunRequest | BatchRequest",
+) -> RunCheckpointer | None:
+    """Build the item's checkpointer, if snapshots (or a kill) are due.
+
+    Consumes any armed ``kill_at_step`` fault (fault injection arms it
+    before the task body runs; see :func:`repro.runtime.faults.inject_fault`)
+    so even an unpoliced item honors an injected mid-run kill.
+    """
+    kill = consume_armed_kill()
+    policy = item.checkpoint
+    if policy is None and kill is None:
+        return None
+    store = CheckpointStore(policy.directory) if policy is not None else None
+    return RunCheckpointer(
+        store,
+        _checkpoint_key(item),
+        every=policy.every if policy is not None else 0,
+        kill_at_step=kill,
+    )
+
+
 def execute_request(request: RunRequest) -> "EvolutionRun":
     """Execute one run (module-level so the process backend can pickle it)."""
-    return request.model.run(
+    checkpointer = _checkpointer_for(request)
+    run = request.model.run(
         request.spec,
         seed=rng_from_seed(request.seed),
         record_history=request.record_history,
         engine=request.engine,
+        checkpointer=checkpointer,
     )
+    if checkpointer is not None:
+        checkpointer.finished()
+    return run
 
 
 @dataclass(frozen=True)
@@ -154,6 +211,9 @@ class BatchRequest:
         record_history: Forwarded to the batch.
         engine: The requests' engine override, carried for provenance
             (grouping already proved it resolves to ``"batched"``).
+        checkpoint: Optional crash-consistency policy (DESIGN.md §9);
+            excluded from every member run's cache key, like
+            :attr:`RunRequest.checkpoint`.
     """
 
     model: "CulinaryEvolutionModel"
@@ -161,6 +221,7 @@ class BatchRequest:
     seeds: tuple[int, ...]
     record_history: bool = False
     engine: str | None = None
+    checkpoint: CheckpointPolicy | None = None
 
 
 def execute_batch(batch: BatchRequest) -> list["EvolutionRun"]:
@@ -174,12 +235,17 @@ def execute_batch(batch: BatchRequest) -> list["EvolutionRun"]:
     """
     from repro.models.batched import run_batched
 
-    return run_batched(
+    checkpointer = _checkpointer_for(batch)
+    runs = run_batched(
         batch.model,
         batch.spec,
         [rng_from_seed(seed) for seed in batch.seeds],
         record_history=batch.record_history,
+        checkpointer=checkpointer,
     )
+    if checkpointer is not None:
+        checkpointer.finished()
+    return runs
 
 
 def _execute_work(
@@ -324,6 +390,7 @@ def dispatch_requests(
     keys: Sequence[str] | None,
     config: RuntimeConfig,
     cache: RunCache | None,
+    checkpoint_every: int | None = None,
 ) -> tuple[list["EvolutionRun"], list[int]]:
     """Serve requests from cache, dispatch the misses, write fresh runs back.
 
@@ -346,6 +413,11 @@ def dispatch_requests(
             cache entirely.
         config: Backend/jobs selection.
         cache: Cache instance; ``None`` disables lookups and writes.
+        checkpoint_every: Snapshot every N engine steps (DESIGN.md §9);
+            ``None`` falls back to ``config.resolve_checkpoint_every()``
+            and ``0`` disables.  Checkpoints need a durable home, so
+            the policy only attaches when a cache is configured — the
+            snapshots live beside the run cache in its directory.
 
     Returns:
         ``(results, dispatched)``: results aligned with ``requests``,
@@ -367,6 +439,16 @@ def dispatch_requests(
     if pending:
         executor = get_executor(config)
         work = _plan_work(requests, pending)
+        every = (
+            checkpoint_every
+            if checkpoint_every is not None
+            else config.resolve_checkpoint_every()
+        )
+        if every and cache is not None:
+            policy = CheckpointPolicy(
+                directory=str(cache.directory), every=every
+            )
+            work = [replace(item, checkpoint=policy) for item in work]
         # Under the distributed backend the *workers* write fresh runs
         # into the shared cache directory (the result rendezvous,
         # DESIGN.md §8) and the coordinator skips its own puts; every

@@ -133,11 +133,17 @@ class SweepPlan:
             used.  Under ``"batched"`` the dispatcher stacks each
             cell's uncached runs into one pass (DESIGN.md §7); models
             without batched support (CM-V) degrade to vectorized.
+        checkpoint_every: Snapshot each dispatched run's engine state
+            every N steps (DESIGN.md §9).  ``None`` defers to the
+            runtime config at execution time; carried on the plan so a
+            long sweep's resumability policy travels with the grid.
+            Like the engine override it never enters cache keys.
     """
 
     cells: tuple[SweepCell, ...]
     record_history: bool = False
     engine: str | None = None
+    checkpoint_every: int | None = None
 
     @property
     def n_cells(self) -> int:
@@ -168,6 +174,7 @@ def plan_cells(
     seed: SeedLike = None,
     record_history: bool = False,
     engine: str | None = None,
+    checkpoint_every: int | None = None,
 ) -> SweepPlan:
     """Draw per-run seeds for an ordered sequence of (model, spec) cells.
 
@@ -186,6 +193,8 @@ def plan_cells(
         engine: Per-run engine override forwarded to every run
             (``"reference"``, ``"vectorized"`` or ``"batched"``; see
             :class:`SweepPlan`).
+        checkpoint_every: Snapshot period in engine steps (see
+            :class:`SweepPlan`); ``None`` defers to the runtime config.
 
     Raises:
         ExecutionError: If ``n_runs < 1``.
@@ -203,6 +212,7 @@ def plan_cells(
         ),
         record_history=record_history,
         engine=engine,
+        checkpoint_every=checkpoint_every,
     )
 
 
@@ -213,6 +223,7 @@ def plan_grid(
     seed: SeedLike = None,
     record_history: bool = False,
     engine: str | None = None,
+    checkpoint_every: int | None = None,
 ) -> SweepPlan:
     """Plan the full cuisine-major (model × cuisine) grid.
 
@@ -229,6 +240,8 @@ def plan_grid(
         engine: Per-run engine override forwarded to every run
             (``"reference"``, ``"vectorized"`` or ``"batched"``; see
             :class:`SweepPlan`).
+        checkpoint_every: Snapshot period in engine steps (see
+            :class:`SweepPlan`); ``None`` defers to the runtime config.
 
     Raises:
         ExecutionError: On an empty model or cuisine axis.
@@ -244,6 +257,7 @@ def plan_grid(
         seed=seed,
         record_history=record_history,
         engine=engine,
+        checkpoint_every=checkpoint_every,
     )
 
 
@@ -377,7 +391,10 @@ def execute_sweep(
                 plan.engine,
             )
         ]
-    results, dispatched = dispatch_requests(requests, keys, config, cache)
+    results, dispatched = dispatch_requests(
+        requests, keys, config, cache,
+        checkpoint_every=plan.checkpoint_every,
+    )
 
     dispatched_set = set(dispatched)
     cells = tuple(

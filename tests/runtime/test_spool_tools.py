@@ -1,0 +1,169 @@
+"""Spool telemetry and compaction tests (``repro spool stats|compact``).
+
+The broom's contract is what these tests pin down: :func:`compact_spool`
+removes exactly the dead debris — stale claims and their heartbeats,
+orphaned heartbeats, long-gone worker markers, aged results and
+stranded temps — and never touches live state: pending tasks, beating
+claims, fresh temps.  Both entry points take an injectable ``now`` so
+staleness is tested against a fixed clock, not wall time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.runtime import Spool, compact_spool, spool_stats
+from repro.runtime.distributed import (
+    ALIVE_SUFFIX,
+    CLAIM_SUFFIX,
+    HEARTBEAT_SUFFIX,
+    RESULT_SUFFIX,
+    TASK_SUFFIX,
+)
+
+NOW = 1_000_000.0
+STALE = 60.0
+
+
+@pytest.fixture()
+def spool(tmp_path):
+    s = Spool(root=tmp_path / "spool")
+    s.ensure()
+    return s
+
+
+def _touch(path, age: float = 0.0) -> None:
+    path.write_bytes(b"x")
+    os.utime(path, (NOW - age, NOW - age))
+
+
+def test_stats_and_compact_require_a_spool(tmp_path):
+    with pytest.raises(ExecutionError, match="no spool directory"):
+        spool_stats(tmp_path / "missing")
+    with pytest.raises(ExecutionError, match="no spool directory"):
+        compact_spool(tmp_path / "missing")
+    with pytest.raises(ExecutionError, match="> 0"):
+        spool_stats(tmp_path, stale_after=0.0)
+    with pytest.raises(ExecutionError, match="> 0"):
+        compact_spool(tmp_path, stale_after=-1.0)
+
+
+def test_empty_spool_stats(spool):
+    stats = spool_stats(spool.root, stale_after=STALE, now=NOW)
+    assert stats.pending_tasks == 0
+    assert stats.claimed == 0
+    assert stats.stale_claims == 0
+    assert stats.live_workers == 0
+    assert stats.attempts == {}
+    assert not stats.stop_signaled
+
+
+def test_stats_categorize_everything(spool):
+    _touch(spool.tasks / f"t0.a01{TASK_SUFFIX}")
+    _touch(spool.tasks / f"t1.a01{TASK_SUFFIX}")
+    # A live claim: fresh heartbeat.
+    _touch(spool.claimed / f"t2.a01.w0{CLAIM_SUFFIX}", age=120.0)
+    _touch(spool.claimed / f"t2.a01.w0{HEARTBEAT_SUFFIX}", age=1.0)
+    # A dead claim: heartbeat went stale.
+    _touch(spool.claimed / f"t3.a01.w1{CLAIM_SUFFIX}", age=300.0)
+    _touch(spool.claimed / f"t3.a01.w1{HEARTBEAT_SUFFIX}", age=290.0)
+    _touch(spool.results / f"t4{RESULT_SUFFIX}", age=5.0)
+    _touch(spool.workers / f"w0{ALIVE_SUFFIX}", age=1.0)
+    _touch(spool.workers / f"w9{ALIVE_SUFFIX}", age=999.0)
+    _touch(spool.tasks / "t5.a01.task.tmp.123", age=400.0)
+    spool.stop_path.touch()
+    spool.attempts_path.write_text(
+        json.dumps({"outcome": "completed"}) + "\n"
+        + json.dumps({"outcome": "completed"}) + "\n"
+        + json.dumps({"outcome": "lease_expired"}) + "\n"
+        + "{broken\n",
+        encoding="utf-8",
+    )
+
+    stats = spool_stats(spool.root, stale_after=STALE, now=NOW)
+    assert stats.pending_tasks == 2
+    assert stats.claimed == 2
+    assert stats.stale_claims == 1
+    assert stats.results == 1
+    assert stats.live_workers == 1
+    assert stats.dead_workers == 1
+    assert stats.orphan_tmp == 1
+    assert stats.stop_signaled
+    assert stats.attempts == {
+        "completed": 2, "lease_expired": 1, "unparseable": 1,
+    }
+
+
+def test_compact_removes_only_dead_debris(spool):
+    # Live state — all of this must survive compaction untouched.
+    pending = spool.tasks / f"t0.a01{TASK_SUFFIX}"
+    _touch(pending, age=9999.0)  # pending tasks are never aged out
+    live_claim = spool.claimed / f"t1.a01.w0{CLAIM_SUFFIX}"
+    live_beat = spool.claimed / f"t1.a01.w0{HEARTBEAT_SUFFIX}"
+    _touch(live_claim, age=500.0)
+    _touch(live_beat, age=2.0)  # still beating
+    live_worker = spool.workers / f"w0{ALIVE_SUFFIX}"
+    _touch(live_worker, age=3.0)
+    fresh_result = spool.results / f"t2{RESULT_SUFFIX}"
+    _touch(fresh_result, age=4.0)
+    fresh_tmp = spool.results / "t3.result.tmp.55"
+    _touch(fresh_tmp, age=5.0)  # may be a concurrent writer mid-rename
+
+    # Debris — all of this must go.
+    dead_claim = spool.claimed / f"t4.a01.w1{CLAIM_SUFFIX}"
+    dead_beat = spool.claimed / f"t4.a01.w1{HEARTBEAT_SUFFIX}"
+    _touch(dead_claim, age=400.0)
+    _touch(dead_beat, age=400.0)
+    orphan_beat = spool.claimed / f"t5.a01.w2{HEARTBEAT_SUFFIX}"
+    _touch(orphan_beat, age=1.0)  # claim already gone: age-exempt
+    dead_worker = spool.workers / f"w9{ALIVE_SUFFIX}"
+    _touch(dead_worker, age=800.0)
+    old_result = spool.results / f"t6{RESULT_SUFFIX}"
+    _touch(old_result, age=700.0)
+    old_tmp = spool.tasks / "t7.a01.task.tmp.99"
+    _touch(old_tmp, age=600.0)
+
+    removed = compact_spool(spool.root, stale_after=STALE, now=NOW)
+    assert removed.stale_claims == 1
+    assert removed.orphan_heartbeats == 1
+    assert removed.dead_workers == 1
+    assert removed.stale_results == 1
+    assert removed.orphan_tmp == 1
+    assert removed.total == 5
+
+    for survivor in (
+        pending, live_claim, live_beat, live_worker, fresh_result, fresh_tmp,
+    ):
+        assert survivor.exists(), survivor
+    for gone in (
+        dead_claim, dead_beat, orphan_beat, dead_worker, old_result, old_tmp,
+    ):
+        assert not gone.exists(), gone
+
+
+def test_claim_without_heartbeat_judged_by_claim_age(spool):
+    # Renamed moments ago, heartbeat not yet touched: live.
+    young = spool.claimed / f"t0.a01.w0{CLAIM_SUFFIX}"
+    _touch(young, age=1.0)
+    # Claimed long ago, no heartbeat ever: dead.
+    old = spool.claimed / f"t1.a01.w1{CLAIM_SUFFIX}"
+    _touch(old, age=500.0)
+
+    stats = spool_stats(spool.root, stale_after=STALE, now=NOW)
+    assert stats.stale_claims == 1
+    removed = compact_spool(spool.root, stale_after=STALE, now=NOW)
+    assert removed.stale_claims == 1
+    assert young.exists()
+    assert not old.exists()
+
+
+def test_compact_is_idempotent(spool):
+    _touch(spool.claimed / f"t0.a01.w0{CLAIM_SUFFIX}", age=500.0)
+    first = compact_spool(spool.root, stale_after=STALE, now=NOW)
+    assert first.total == 1
+    second = compact_spool(spool.root, stale_after=STALE, now=NOW)
+    assert second.total == 0
