@@ -1,0 +1,247 @@
+"""Bench the island engine: migration overhead on a full-mesh archipelago.
+
+The island engine (DESIGN.md §10) runs reference dynamics per island
+plus a migration layer — one uniform per recipe step on islands with
+inbound edges, and a borrow-import path when the coin hits.  This bench
+times one 3-island cell three ways and pins the contract the feature
+must keep:
+
+* **isolated serial** — baseline: each island run alone through the
+  reference engine on its own dynamics stream, in series;
+* **mesh rate=0** — the archipelago loop with migration compiled in
+  but never firing; must stay **bit-identical** to the isolated runs
+  (the §10 determinism contract);
+* **mesh rate=0.1** — the tripwire mode: migration actually firing;
+  may cost at most the isolated wall-clock times the documented slack.
+
+Two entry points:
+
+* pytest (CI smoke)::
+
+      PYTHONPATH=src python -m pytest benchmarks/bench_islands.py -q
+
+* standalone, e.g. the CI tripwire::
+
+      PYTHONPATH=src python benchmarks/bench_islands.py --fast --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from _results import smoke_write_enabled, write_bench_result
+from repro.lexicon.builder import standard_lexicon
+from repro.models.copy_mutate import CopyMutateRandom
+from repro.models.islands import (
+    IslandSimulation,
+    MigrationTopology,
+    island_seed_streams,
+)
+from repro.models.params import CuisineSpec
+from repro.rng import ensure_rng, spawn_seeds
+from repro.synthesis.worldgen import WorldKitchen
+
+#: Overhead tripwire budget: the full-mesh archipelago may cost at most
+#: the isolated-serial wall-clock times this slack, plus a small
+#: absolute allowance for timer noise at smoke sizes.  The slack is the
+#: *documented migration overhead*: one uniform per recipe step, the
+#: borrow-import path on hits, and the round-robin bookkeeping.
+MIGRATION_SLACK = 2.5
+MIGRATION_NOISE_SECONDS = 0.75
+
+#: The per-edge rate of the tripwire mesh.
+TRIPWIRE_RATE = 0.1
+
+_REGIONS = ("ITA", "GRC", "SP")
+
+
+def _bench_specs(scale: float) -> list[CuisineSpec]:
+    lexicon = standard_lexicon()
+    kitchen = WorldKitchen(lexicon, seed=20190408)
+    dataset = kitchen.generate_dataset(region_codes=_REGIONS, scale=scale)
+    return [
+        CuisineSpec.from_view(dataset.cuisine(code), lexicon)
+        for code in _REGIONS
+    ]
+
+
+def _signature(run) -> tuple:
+    return (run.transactions, run.final_pool_size, run.trace.__dict__)
+
+
+def migration_budget(isolated_seconds: float) -> float:
+    """Seconds the tripwire mesh pass may take before failing."""
+    return isolated_seconds * MIGRATION_SLACK + MIGRATION_NOISE_SECONDS
+
+
+def run_islands_comparison(
+    n_runs: int, scale: float, seed: int = 7
+) -> dict:
+    """Time a 3-island cell: isolated serial vs rate-0 vs live mesh."""
+    specs = _bench_specs(scale)
+    model = CopyMutateRandom()
+    masters = spawn_seeds(ensure_rng(seed), n_runs)
+
+    # Baseline: every island alone, reference engine, in series, on the
+    # exact dynamics streams the archipelago would give it.
+    start = time.perf_counter()
+    isolated_signatures = []
+    for master in masters:
+        for spec in specs:
+            dynamics_seed, _ = island_seed_streams(master, spec.region_code)
+            run = model.run(spec, seed=dynamics_seed, engine="reference")
+            isolated_signatures.append(_signature(run))
+    isolated_seconds = time.perf_counter() - start
+
+    # Rate-0 mesh: the archipelago loop with migration never firing.
+    zero_mesh = IslandSimulation(
+        model, specs, MigrationTopology.full_mesh(_REGIONS, 0.0)
+    )
+    start = time.perf_counter()
+    zero_signatures = []
+    for master in masters:
+        outcome = zero_mesh.run(seed=master)
+        for spec in specs:
+            zero_signatures.append(_signature(outcome.runs[spec.region_code]))
+    zero_seconds = time.perf_counter() - start
+
+    # Live mesh: the tripwire mode.
+    live_mesh = IslandSimulation(
+        model,
+        specs,
+        MigrationTopology.full_mesh(_REGIONS, TRIPWIRE_RATE),
+    )
+    start = time.perf_counter()
+    borrow_events = 0
+    for master in masters:
+        outcome = live_mesh.run(seed=master)
+        borrow_events += sum(outcome.borrow_events.values())
+    mesh_seconds = time.perf_counter() - start
+
+    timings = {
+        "isolated serial": isolated_seconds,
+        "mesh rate=0": zero_seconds,
+        f"mesh rate={TRIPWIRE_RATE}": mesh_seconds,
+    }
+    cell_runs = n_runs * len(specs)
+    rows = [
+        {
+            "mode": label,
+            "seconds": seconds,
+            "overhead": (
+                seconds / isolated_seconds if isolated_seconds > 0 else 1.0
+            ),
+            "runs_per_second": (
+                cell_runs / seconds if seconds > 0 else float("inf")
+            ),
+        }
+        for label, seconds in timings.items()
+    ]
+    return {
+        "cell": (
+            f"ISL(CM-R) x {len(specs)} islands x {n_runs} archipelagos "
+            f"(scale {scale})"
+        ),
+        "n_runs": n_runs,
+        "n_islands": len(specs),
+        "cpu_count": os.cpu_count() or 1,
+        "bit_identical": zero_signatures == isolated_signatures,
+        "borrow_events": borrow_events,
+        "isolated_seconds": isolated_seconds,
+        "mesh_seconds": mesh_seconds,
+        "mesh_budget_seconds": migration_budget(isolated_seconds),
+        "rows": rows,
+    }
+
+
+def _render(result: dict) -> str:
+    lines = [
+        f"islands: {result['cell']} ({result['cpu_count']} cores); "
+        f"rate-0 bit-identical: {result['bit_identical']}; "
+        f"borrows at rate={TRIPWIRE_RATE}: {result['borrow_events']}",
+        f"{'mode':<18}{'seconds':>10}{'overhead':>10}{'runs/s':>10}",
+    ]
+    for row in result["rows"]:
+        lines.append(
+            f"{row['mode']:<18}{row['seconds']:>10.3f}"
+            f"{row['overhead']:>9.2f}x{row['runs_per_second']:>10.1f}"
+        )
+    lines.append(
+        f"overhead tripwire: {result['mesh_seconds']:.3f}s vs "
+        f"budget {result['mesh_budget_seconds']:.3f}s"
+    )
+    return "\n".join(lines)
+
+
+def _check(result: dict) -> str | None:
+    """The --check predicate; returns a failure message or ``None``."""
+    if not result["bit_identical"]:
+        return "FAIL: rate-0 mesh diverges from isolated reference runs"
+    if result["borrow_events"] == 0:
+        return f"FAIL: no borrows at rate={TRIPWIRE_RATE}"
+    if result["mesh_seconds"] > result["mesh_budget_seconds"]:
+        return (
+            f"FAIL: full-mesh pass {result['mesh_seconds']:.3f}s exceeded "
+            f"the isolated-serial budget "
+            f"{result['mesh_budget_seconds']:.3f}s"
+        )
+    return None
+
+
+def test_migration_overhead_stays_bounded(benchmark):
+    """Pytest entry: overhead matrix plus the bit-identity tripwire."""
+    n_runs = int(os.environ.get("REPRO_BENCH_RUNS", "4"))
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+    result = benchmark.pedantic(
+        run_islands_comparison,
+        args=(n_runs, scale),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(_render(result))
+    if smoke_write_enabled():
+        write_bench_result("islands", result)
+    failure = _check(result)
+    assert failure is None, failure
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone comparison (and the CI ``--fast --check`` tripwire)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=12,
+                        help="archipelago executions (default: 12)")
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="smoke sizing (scale 0.1, 4 runs) for CI tripwires",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help=(
+            "exit 1 unless the rate-0 mesh is bit-identical to isolated "
+            "runs, migration actually fires, and the full mesh stays "
+            "within the isolated-serial budget"
+        ),
+    )
+    args = parser.parse_args(argv)
+    scale = 0.1 if args.fast else args.scale
+    n_runs = 4 if args.fast else args.runs
+    result = run_islands_comparison(n_runs, scale, seed=args.seed)
+    print(_render(result))
+    # --fast is the CI tripwire; only full-size runs may replace the
+    # committed acceptance artifact.
+    if not args.fast or smoke_write_enabled():
+        write_bench_result("islands", result)
+    failure = _check(result)
+    if failure is not None:
+        print(failure)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

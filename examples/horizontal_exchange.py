@@ -3,8 +3,13 @@
 The paper closes by noting that cuisines did not evolve in isolation:
 "the propagation of culinary habits would have been both vertical (time)
 as well as horizontal (regions)."  This example co-evolves three
-neighbouring cuisines with the HorizontalExchangeSimulation extension
-and measures how borrowing rate affects cross-cuisine similarity.
+neighbouring cuisines on the island engine (DESIGN.md §10) and compares
+migration topologies — isolated, ring, star, full mesh — at a shared
+per-edge borrowing rate, measuring how each pulls the cuisines'
+frequent-combination curves together.
+
+The registered experiment ``repro experiment islands`` runs the
+ensemble-averaged version of this comparison.
 
 Run:  python examples/horizontal_exchange.py
 """
@@ -16,12 +21,13 @@ from repro.analysis.itemsets import mine_frequent_itemsets
 from repro.analysis.mae import curve_distance
 from repro.analysis.rank_frequency import curve_from_mining
 from repro.models.copy_mutate import CopyMutateRandom
-from repro.models.extensions.horizontal import HorizontalExchangeSimulation
+from repro.models.islands import IslandSimulation, MigrationTopology
 from repro.viz.ascii import render_table
 
 SEED = 23
 REGIONS = ("GRC", "ME", "SP")  # a Mediterranean neighbourhood
 SCALE = 0.1
+EDGE_RATE = 0.1  # per-edge migration rate shared by all topologies
 
 
 def pairwise_similarity(runs) -> float:
@@ -48,25 +54,25 @@ def main() -> None:
         for code in REGIONS
     ]
 
+    topologies = (
+        ("isolated", MigrationTopology.isolated()),
+        ("ring", MigrationTopology.ring(REGIONS, EDGE_RATE)),
+        ("star", MigrationTopology.star(REGIONS[0], REGIONS[1:], EDGE_RATE)),
+        ("mesh", MigrationTopology.full_mesh(REGIONS, EDGE_RATE)),
+    )
     rows = []
-    for exchange_rate in (0.0, 0.05, 0.2, 0.5):
-        simulation = HorizontalExchangeSimulation(
-            CopyMutateRandom(), exchange_rate=exchange_rate
-        )
-        outcome = simulation.run(specs, seed=SEED)
+    for name, topology in topologies:
+        simulation = IslandSimulation(CopyMutateRandom(), specs, topology)
+        outcome = simulation.run(seed=SEED)
         borrowed = sum(outcome.borrow_events.values())
         rows.append(
-            (
-                f"{exchange_rate:.2f}",
-                borrowed,
-                f"{pairwise_similarity(outcome.runs):.4f}",
-            )
+            (name, borrowed, f"{pairwise_similarity(outcome.runs):.4f}")
         )
     print(render_table(
-        ("Exchange rate", "Borrow events", "Mean pairwise curve distance"),
+        ("Topology", "Borrow events", "Mean pairwise curve distance"),
         rows,
         title=f"Horizontal transmission between {', '.join(REGIONS)} — "
-              "more exchange should pull the curves together",
+              "denser migration should pull the curves together",
     ))
 
 

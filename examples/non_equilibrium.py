@@ -8,7 +8,12 @@ three ways and shows they agree:
 1. the empirical (generated) cuisine's vocabulary growth curve;
 2. an Algorithm 1 run's recorded (m, n) pool trajectory — the model's
    ∂-vs-φ alternation *enforces* proportional growth;
-3. the vocabulary growth of the evolved recipe pool itself.
+3. the same cuisine co-evolved on a full-mesh archipelago (DESIGN.md
+   §10) — borrowing routes foreign mothers through the same pool
+   accounting, so sub-linear growth survives migration.
+
+The registered experiment ``repro experiment non_equilibrium`` runs the
+cached, corpus-driven version of this comparison.
 
 Run:  python examples/non_equilibrium.py
 """
@@ -24,16 +29,19 @@ from repro.analysis.vocabulary_growth import (
     vocabulary_growth_curve,
 )
 from repro.models.copy_mutate import CopyMutateRandom
+from repro.models.islands import IslandSimulation, MigrationTopology
 from repro.viz.ascii import render_curves, render_table
 
 SEED = 29
 REGION = "FRA"
+NEIGHBOURS = ("ITA", "SP")
+MIGRATION_RATE = 0.1  # per edge, on the full mesh
 
 
 def main() -> None:
     lexicon = standard_lexicon()
     corpus = WorldKitchen(lexicon, seed=SEED).generate_dataset(
-        region_codes=(REGION,), scale=0.2
+        region_codes=(REGION, *NEIGHBOURS), scale=0.2
     )
     view = corpus.cuisine(REGION)
     spec = CuisineSpec.from_view(view, lexicon)
@@ -44,6 +52,15 @@ def main() -> None:
     run = CopyMutateRandom().run(spec, seed=SEED, record_history=True)
     model_growth = growth_from_sets(run.transactions)
     model_fit = fit_heaps(model_growth)
+
+    specs = [spec] + [
+        CuisineSpec.from_view(corpus.cuisine(code), lexicon)
+        for code in NEIGHBOURS
+    ]
+    mesh = MigrationTopology.full_mesh((REGION, *NEIGHBOURS), MIGRATION_RATE)
+    outcome = IslandSimulation(CopyMutateRandom(), specs, mesh).run(seed=SEED)
+    mesh_growth = growth_from_sets(outcome.runs[REGION].transactions)
+    mesh_fit = fit_heaps(mesh_growth)
 
     trajectory = run.pool_trajectory()
     pool_sizes = np.array([m for m, _n in trajectory], dtype=float)
@@ -56,6 +73,9 @@ def main() -> None:
              f"{empirical_fit.r_squared:.3f}"),
             ("evolved pool vocabulary", f"{model_fit.beta:.3f}",
              f"{model_fit.r_squared:.3f}"),
+            (f"evolved with migration ({outcome.borrow_events[REGION]} "
+             "borrows)", f"{mesh_fit.beta:.3f}",
+             f"{mesh_fit.r_squared:.3f}"),
         ],
         title=f"Sub-linear vocabulary growth in {REGION} "
               "(beta < 1 = non-equilibrium growth)",

@@ -1,0 +1,208 @@
+"""Experiment ``non_equilibrium``: Heaps-law growth with and without migration.
+
+The copy-mutate lineage (Kinouchi et al. [7], the paper's Sec. V basis)
+frames cuisines as *non-equilibrium* systems: the ingredient vocabulary
+never saturates but grows sub-linearly with the recipe count,
+``V(n) ≈ K · n^beta`` with ``beta < 1``.  This experiment measures that
+exponent three ways for one focal cuisine —
+
+1. the empirical (generated) cuisine's vocabulary growth curve;
+2. an isolated Algorithm 1 run, whose ∂-vs-φ alternation *enforces*
+   proportional pool growth (the recorded (m, n) trajectory is reported
+   against the cuisine's φ);
+3. the same cuisine co-evolved on a full-mesh archipelago
+   (DESIGN.md §10) — borrowing must not break sub-linear growth,
+   because foreign mothers are routed through the same pool accounting
+   as native ∂-steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.vocabulary_growth import (
+    fit_heaps,
+    growth_from_sets,
+    vocabulary_growth_curve,
+)
+from repro.experiments.base import ExperimentContext
+from repro.models.copy_mutate import CopyMutateRandom
+from repro.models.islands import IslandSimulation, MigrationTopology
+from repro.models.params import CuisineSpec
+from repro.rng import rng_from_seed
+from repro.viz.ascii import render_table
+from repro.viz.export import write_csv
+
+__all__ = ["GrowthFit", "NonEquilibriumResult", "run_non_equilibrium"]
+
+#: Global exchange budget for the migration variant, split across the
+#: full mesh's inbound edges.
+MIGRATION_RATE = 0.2
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """One measured vocabulary-growth curve.
+
+    Attributes:
+        source: Which curve this is (``empirical`` / ``isolated model``
+            / ``migration model``).
+        beta: Heaps exponent (< 1 means sub-linear, non-equilibrium
+            growth).
+        r_squared: Goodness of the log-log power-law fit.
+        n_recipes: Length of the growth curve.
+    """
+
+    source: str
+    beta: float
+    r_squared: float
+    n_recipes: int
+
+
+@dataclass(frozen=True)
+class NonEquilibriumResult:
+    """Heaps-law comparison for one focal cuisine.
+
+    Attributes:
+        region_code: The focal cuisine.
+        neighbour_codes: Cuisines on the migration variant's mesh.
+        fits: Empirical / isolated / migration growth fits.
+        pool_ratio_start: Initial m/n of the isolated run's trajectory.
+        pool_ratio_end: Final m/n — Algorithm 1 locks this onto φ.
+        phi: The cuisine's empirical pool ratio.
+        borrow_events: Borrowed steps by the focal island on the mesh.
+    """
+
+    region_code: str
+    neighbour_codes: tuple[str, ...]
+    fits: tuple[GrowthFit, ...]
+    pool_ratio_start: float
+    pool_ratio_end: float
+    phi: float
+    borrow_events: int
+
+    def render(self) -> str:
+        table = render_table(
+            ("Curve", "Heaps beta", "R^2", "Recipes"),
+            [
+                (fit.source, f"{fit.beta:.3f}", f"{fit.r_squared:.3f}",
+                 fit.n_recipes)
+                for fit in self.fits
+            ],
+            title=(
+                f"Sub-linear vocabulary growth in {self.region_code} "
+                "(beta < 1 = non-equilibrium growth)"
+            ),
+        )
+        mesh = ", ".join(self.neighbour_codes) or "none"
+        return (
+            f"{table}\n\n"
+            f"Algorithm 1 pool ratio m/n: starts at "
+            f"{self.pool_ratio_start:.3f}, ends at "
+            f"{self.pool_ratio_end:.3f} (cuisine phi = {self.phi:.3f}) — "
+            "the ∂-vs-φ rule locks the pool onto proportional growth.\n"
+            f"Migration variant: full mesh with {mesh} "
+            f"({self.borrow_events} steps borrowed by {self.region_code}; "
+            "DESIGN.md §10) keeps growth sub-linear."
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "experiment": "non_equilibrium",
+            "region_code": self.region_code,
+            "neighbour_codes": list(self.neighbour_codes),
+            "fits": [
+                {
+                    "source": fit.source,
+                    "beta": fit.beta,
+                    "r_squared": fit.r_squared,
+                    "n_recipes": fit.n_recipes,
+                }
+                for fit in self.fits
+            ],
+            "pool_ratio_start": self.pool_ratio_start,
+            "pool_ratio_end": self.pool_ratio_end,
+            "phi": self.phi,
+            "borrow_events": self.borrow_events,
+        }
+
+
+def run_non_equilibrium(
+    context: ExperimentContext,
+    region_code: str | None = None,
+) -> NonEquilibriumResult:
+    """Measure Heaps-law growth empirically, in isolation, and on a mesh.
+
+    Args:
+        context: Shared corpus/runtime inputs; the single-run curves
+            all derive from ``context.seed``.
+        region_code: Focal cuisine (default: the corpus's first
+            region).  Up to two further regions become mesh neighbours.
+    """
+    codes = context.dataset.region_codes()
+    focal = region_code if region_code is not None else codes[0]
+    view = context.dataset.cuisine(focal)
+    spec = CuisineSpec.from_view(view, context.lexicon)
+    model = CopyMutateRandom()
+
+    empirical_growth = vocabulary_growth_curve(view)
+    empirical_fit = fit_heaps(empirical_growth)
+
+    run = model.run(spec, seed=context.seed, record_history=True)
+    model_growth = growth_from_sets(run.transactions)
+    model_fit = fit_heaps(model_growth)
+    trajectory = run.pool_trajectory()
+    m0, n0 = trajectory[0]
+    m1, n1 = trajectory[-1]
+
+    neighbours = tuple(code for code in codes if code != focal)[:2]
+    borrow_events = 0
+    fits = [
+        GrowthFit("empirical cuisine", empirical_fit.beta,
+                  empirical_fit.r_squared, int(empirical_growth.size)),
+        GrowthFit("isolated model", model_fit.beta, model_fit.r_squared,
+                  int(model_growth.size)),
+    ]
+    if neighbours:
+        mesh_codes = (focal, *neighbours)
+        specs = [spec] + [
+            CuisineSpec.from_view(
+                context.dataset.cuisine(code), context.lexicon
+            )
+            for code in neighbours
+        ]
+        topology = MigrationTopology.full_mesh(
+            mesh_codes, MIGRATION_RATE / (len(mesh_codes) - 1)
+        )
+        outcome = IslandSimulation(model, specs, topology).run(
+            rng_from_seed(context.seed)
+        )
+        mesh_growth = growth_from_sets(outcome.runs[focal].transactions)
+        mesh_fit = fit_heaps(mesh_growth)
+        borrow_events = outcome.borrow_events[focal]
+        fits.append(
+            GrowthFit("migration model", mesh_fit.beta, mesh_fit.r_squared,
+                      int(mesh_growth.size))
+        )
+
+    result = NonEquilibriumResult(
+        region_code=focal,
+        neighbour_codes=neighbours,
+        fits=tuple(fits),
+        pool_ratio_start=float(m0 / max(n0, 1)),
+        pool_ratio_end=float(m1 / max(n1, 1)),
+        phi=float(spec.phi),
+        borrow_events=borrow_events,
+    )
+    path = context.artifact_path("non_equilibrium.csv")
+    if path is not None:
+        write_csv(
+            path,
+            ("source", "heaps_beta", "r_squared", "n_recipes"),
+            [
+                (fit.source, f"{fit.beta:.6f}", f"{fit.r_squared:.6f}",
+                 fit.n_recipes)
+                for fit in result.fits
+            ],
+        )
+    return result

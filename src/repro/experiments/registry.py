@@ -21,6 +21,8 @@ from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
+from repro.experiments.islands import run_islands
+from repro.experiments.non_equilibrium import run_non_equilibrium
 from repro.experiments.table1 import run_table1
 
 __all__ = ["EXPERIMENTS", "available_experiments", "run_experiment"]
@@ -42,6 +44,8 @@ EXPERIMENTS: dict[str, Callable[[ExperimentContext], object]] = {
     "ablation_minsup": run_ablation_minsup,
     "ablation_metric": run_ablation_metric,
     "ablation_null_sampling": run_ablation_null_sampling,
+    "islands": run_islands,
+    "non_equilibrium": run_non_equilibrium,
 }
 
 

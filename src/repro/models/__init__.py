@@ -23,6 +23,17 @@ from repro.models.ensemble import (
     ensemble_curves,
     run_ensemble,
 )
+from repro.models.islands import (
+    ISLANDS_STREAM_VERSION,
+    IslandEnsembleResult,
+    IslandMemberModel,
+    IslandOutcome,
+    IslandSimulation,
+    MigrationEdge,
+    MigrationTopology,
+    island_seed_streams,
+    run_island_ensemble,
+)
 from repro.models.fitness import (
     FitnessStrategy,
     RankBiasedFitness,
@@ -54,6 +65,15 @@ __all__ = [
     "BATCHED_STREAM_VERSION",
     "BatchedTransactions",
     "ENGINES",
+    "ISLANDS_STREAM_VERSION",
+    "IslandEnsembleResult",
+    "IslandMemberModel",
+    "IslandOutcome",
+    "IslandSimulation",
+    "MigrationEdge",
+    "MigrationTopology",
+    "island_seed_streams",
+    "run_island_ensemble",
     "VECTORIZED_STREAM_VERSION",
     "run_batched",
     "run_vectorized",

@@ -314,18 +314,46 @@ class CopyMutateBase(CulinaryEvolutionModel):
 
     Subclasses implement :meth:`_choose_replacement` — the only point
     where CM-R, CM-C and CM-M differ.
+
+    Two public seams exist for engines that supply their own mother
+    recipe (the island engine, extensions):
+
+    * :meth:`mutate_recipe` — copy a given mother and apply the full
+      M-mutation loop, consuming exactly the draws the standard recipe
+      step would;
+    * :meth:`choose_replacement` — one candidate draw, wrapping the
+      subclass hook.
+
+    Code outside the class hierarchy must use these instead of reaching
+    into ``_choose_replacement``/``_recipe_step``.
     """
 
     def _recipe_step(
         self, state: EvolutionState, rng: np.random.Generator
     ) -> None:
         mother = state.recipes[state.random_recipe_index()]
+        state.add_recipe(self.mutate_recipe(state, mother, rng))
+
+    def mutate_recipe(
+        self,
+        state: EvolutionState,
+        mother: list[int],
+        rng: np.random.Generator,
+    ) -> list[int]:
+        """Copy ``mother`` and apply the M-mutation loop (lines 11-18).
+
+        The supported seam for callers that pick the mother themselves
+        (e.g. a borrowed recipe under migration, DESIGN.md §10): given
+        the same mother, it consumes exactly the RNG draws the standard
+        recipe step would, and updates the state's mutation counters.
+        The caller adds the result via ``state.add_recipe``.
+        """
         recipe = list(mother)
         for _g in range(self.params.mutations):
             state.trace.mutations_attempted += 1
             victim_position = int(rng.integers(0, len(recipe)))
             victim = recipe[victim_position]
-            replacement = self._choose_replacement(state, victim, rng)
+            replacement = self.choose_replacement(state, victim, rng)
             if replacement is None:
                 state.trace.mutations_skipped_no_candidate += 1
                 continue
@@ -343,7 +371,20 @@ class CopyMutateBase(CulinaryEvolutionModel):
                 # treated as a set, shrinking it by one.
             recipe[victim_position] = replacement
             state.trace.mutations_accepted += 1
-        state.add_recipe(recipe)
+        return recipe
+
+    def choose_replacement(
+        self,
+        state: EvolutionState,
+        victim: int,
+        rng: np.random.Generator,
+    ) -> int | None:
+        """Pick the candidate ``j`` from the pool, or ``None`` to skip.
+
+        Public wrapper around the variant hook — the one supported
+        mutation seam for extensions and the island engine.
+        """
+        return self._choose_replacement(state, victim, rng)
 
     @abc.abstractmethod
     def _choose_replacement(

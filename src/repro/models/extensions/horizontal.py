@@ -1,27 +1,40 @@
-"""Horizontal (cross-cuisine) transmission (the paper's future work).
+"""Horizontal (cross-cuisine) transmission — legacy compat wrapper.
 
 Sec. VII: "it is highly unlikely that cuisines evolved in isolation.
 Analogous to languages, the propagation of culinary habits would have
 been both vertical (time) as well as horizontal (regions)."
 
-:class:`HorizontalExchangeSimulation` co-evolves several cuisines with
-an inner copy-mutate model; at each recipe step, with probability
-``exchange_rate`` the mother recipe is *borrowed* from another cuisine
-(filtered to the borrower's ingredient universe) instead of copied from
-the cuisine's own pool — a minimal model of migration and trade.
+.. deprecated::
+    :class:`HorizontalExchangeSimulation` predates the first-class
+    island engine and is kept as a thin wrapper over
+    :class:`repro.models.islands.IslandSimulation` on a full-mesh
+    topology: a global ``exchange_rate`` is split evenly across each
+    island's ``n - 1`` inbound edges, so the per-step borrow
+    probability matches the old single-coin semantics.  New code should
+    construct an :class:`~repro.models.islands.IslandSimulation`
+    directly — it adds ring/star/custom topologies, per-edge rates,
+    per-island seed streams (DESIGN.md §10) and runtime dispatch.
+
+The wrapper also carries the two fixes for the bugs the old inline loop
+shipped with: the borrow-refill loop no longer hangs when the
+borrower's pool holds fewer distinct ingredients than the donor recipe
+is long (refills cap at the pool size and the mother truncates), and
+borrowed mothers are filtered against the borrower's *pool* accounting
+rather than its raw universe — foreign-but-known ingredients enter
+through :meth:`~repro.models.state.EvolutionState.adopt_ingredient`
+(counted in ``trace.ingredients_added``), so migration preserves the
+m/n invariant Algorithm 1 enforces.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ModelError, ParameterError
 from repro.models.base import CopyMutateBase, EvolutionRun
+from repro.models.islands import IslandSimulation, MigrationTopology
 from repro.models.params import CuisineSpec
-from repro.models.state import EvolutionState
-from repro.rng import SeedLike, ensure_rng
+from repro.rng import SeedLike
 
 __all__ = ["HorizontalExchangeSimulation", "ExchangeOutcome"]
 
@@ -33,20 +46,26 @@ class ExchangeOutcome:
     Attributes:
         runs: Per-cuisine evolution runs, keyed by region code.
         borrow_events: Count of cross-cuisine borrowings per borrower.
+        pools: Final ingredient pool per cuisine — every transaction is
+            a subset of its cuisine's pool.
     """
 
     runs: dict[str, EvolutionRun]
     borrow_events: dict[str, int]
+    pools: dict[str, tuple[int, ...]] = field(default_factory=dict)
 
 
 class HorizontalExchangeSimulation:
     """Co-evolves several cuisines with cross-cuisine recipe borrowing.
 
+    Compat facade over the island engine (see module docstring).
+
     Args:
         inner_model: A :class:`CopyMutateBase` subclass *instance* whose
             mutation machinery is reused for every cuisine.
         exchange_rate: Probability that a recipe step borrows its mother
-            recipe from a random other cuisine.
+            recipe from a random other cuisine (split evenly across the
+            full-mesh inbound edges).
     """
 
     def __init__(
@@ -70,104 +89,25 @@ class HorizontalExchangeSimulation:
     ) -> ExchangeOutcome:
         """Co-evolve all cuisines to their target sizes.
 
-        Cuisines advance in round-robin order; each advances through the
-        usual ∂-vs-φ alternation, but mother recipes are occasionally
-        imported from a random other cuisine and filtered to ingredients
-        the borrower knows (unknown ingredients are replaced with random
-        pool members).
+        Delegates to :class:`~repro.models.islands.IslandSimulation`
+        under a full mesh at per-edge rate
+        ``exchange_rate / (len(specs) - 1)``; only the run labels keep
+        the legacy ``HX(...)`` name.
         """
         if len(specs) < 2:
             raise ModelError("horizontal exchange needs at least two cuisines")
         codes = [spec.region_code for spec in specs]
-        if len(set(codes)) != len(codes):
-            raise ModelError("cuisine specs must have distinct region codes")
-        rng = ensure_rng(seed)
-        model = self.inner_model
-
-        states: dict[str, EvolutionState] = {}
-        initial_sizes: dict[str, int] = {}
-        for spec in specs:
-            fitness = model.fitness.assign(spec.ingredient_ids, rng)
-            n0 = min(model.params.derive_initial_recipes(spec.phi), spec.n_recipes)
-            initial_sizes[spec.region_code] = n0
-            states[spec.region_code] = EvolutionState(
-                spec=spec,
-                fitness=np.asarray(fitness, dtype=np.float64),
-                rng=rng,
-                initial_pool_size=model.params.initial_pool_size,
-                initial_recipes=n0,
-            )
-
-        borrow_events = {code: 0 for code in codes}
-        active = [spec for spec in specs]
-        while active:
-            still_active = []
-            for spec in active:
-                state = states[spec.region_code]
-                if state.n >= spec.n_recipes:
-                    continue
-                if state.pool_ratio() >= spec.phi or not state.can_grow_pool():
-                    self._recipe_step(state, specs, states, rng, borrow_events)
-                else:
-                    state.grow_pool()
-                if state.n < spec.n_recipes:
-                    still_active.append(spec)
-            active = still_active
-
-        runs = {
-            spec.region_code: EvolutionRun(
-                model_name=f"HX({model.name})",
-                region_code=spec.region_code,
-                transactions=states[spec.region_code].transactions(),
-                final_pool_size=states[spec.region_code].m,
-                initial_recipes=initial_sizes[spec.region_code],
-                trace=states[spec.region_code].trace,
-            )
-            for spec in specs
-        }
-        return ExchangeOutcome(runs=runs, borrow_events=borrow_events)
-
-    def _recipe_step(
-        self,
-        state: EvolutionState,
-        specs: list[CuisineSpec],
-        states: dict[str, EvolutionState],
-        rng: np.random.Generator,
-        borrow_events: dict[str, int],
-    ) -> None:
-        code = state.spec.region_code
-        mother: list[int]
-        if rng.random() < self.exchange_rate:
-            donors = [spec.region_code for spec in specs if spec.region_code != code]
-            donor_state = states[donors[int(rng.integers(0, len(donors)))]]
-            donor_recipe = donor_state.recipes[donor_state.random_recipe_index()]
-            known = set(state.spec.ingredient_ids)
-            mother = [i for i in donor_recipe if i in known]
-            # Refill foreign slots from the local pool.
-            while len(mother) < len(donor_recipe):
-                candidate = state.random_pool_ingredient()
-                if candidate not in mother:
-                    mother.append(candidate)
-            borrow_events[code] += 1
-        else:
-            mother = state.recipes[state.random_recipe_index()]
-
-        recipe = list(mother)
-        params = self.inner_model.params
-        for _g in range(params.mutations):
-            state.trace.mutations_attempted += 1
-            victim_position = int(rng.integers(0, len(recipe)))
-            victim = recipe[victim_position]
-            replacement = self.inner_model._choose_replacement(state, victim, rng)
-            if replacement is None or replacement == victim:
-                state.trace.mutations_rejected_duplicate += 1
-                continue
-            if state.fitness_of(replacement) <= state.fitness_of(victim):
-                state.trace.mutations_rejected_fitness += 1
-                continue
-            if replacement in recipe:
-                state.trace.mutations_rejected_duplicate += 1
-                continue
-            recipe[victim_position] = replacement
-            state.trace.mutations_accepted += 1
-        state.add_recipe(recipe)
+        topology = MigrationTopology.full_mesh(
+            codes, self.exchange_rate / (len(specs) - 1)
+        )
+        simulation = IslandSimulation(self.inner_model, specs, topology)
+        outcome = simulation.run(seed)
+        model_name = f"HX({self.inner_model.name})"
+        return ExchangeOutcome(
+            runs={
+                code: replace(run, model_name=model_name)
+                for code, run in outcome.runs.items()
+            },
+            borrow_events=outcome.borrow_events,
+            pools=outcome.pools,
+        )

@@ -68,6 +68,8 @@ class EvolutionTraceCounters:
         mutations_rejected_duplicate: Rejected because j was already in r.
         mutations_skipped_no_candidate: CM-C attempts with no same-category
             candidate in the pool (under the "skip" fallback).
+        recipes_borrowed: Recipe steps whose mother came from another
+            island (DESIGN.md §10); always 0 for single-population runs.
     """
 
     recipes_added: int = 0
@@ -77,6 +79,7 @@ class EvolutionTraceCounters:
     mutations_rejected_fitness: int = 0
     mutations_rejected_duplicate: int = 0
     mutations_skipped_no_candidate: int = 0
+    recipes_borrowed: int = 0
 
 
 def _position_index(ingredient_ids: tuple[int, ...]) -> dict[int, int]:
@@ -125,6 +128,7 @@ class EvolutionState:
         mask = np.zeros(universe.size, dtype=bool)
         mask[picked] = True
         self._pool: list[int] = [int(i) for i in universe[mask]]
+        self._pool_set: set[int] = set(self._pool)
         self._remaining: list[int] = [int(i) for i in universe[~mask]]
         # Contiguous pool-membership list per category code (append-only:
         # the pool never shrinks).
@@ -191,6 +195,14 @@ class EvolutionState:
     # Algorithm steps
     # ------------------------------------------------------------------
 
+    def in_universe(self, ingredient_id: int) -> bool:
+        """Whether the ingredient belongs to this cuisine's universe."""
+        return ingredient_id in self._position_of
+
+    def in_pool(self, ingredient_id: int) -> bool:
+        """Whether the ingredient is currently in the pool ``I₀``."""
+        return ingredient_id in self._pool_set
+
     def can_grow_pool(self) -> bool:
         return bool(self._remaining)
 
@@ -204,10 +216,37 @@ class EvolutionState:
         self._remaining[row] = self._remaining[-1]
         self._remaining.pop()
         self._pool.append(ingredient_id)
+        self._pool_set.add(ingredient_id)
         code = self._category_codes[self._position_of[ingredient_id]]
         self._pool_by_code[code].append(ingredient_id)
         self.trace.ingredients_added += 1
         return ingredient_id
+
+    def adopt_ingredient(self, ingredient_id: int) -> None:
+        """Move a *specific* remaining ingredient into the pool.
+
+        The directed counterpart of :meth:`grow_pool`, used by the
+        island engine (DESIGN.md §10) when a borrowed recipe carries an
+        ingredient this cuisine knows but has not pooled yet.  Counted
+        in ``trace.ingredients_added`` so the m/n invariant Algorithm 1
+        enforces (∂ vs φ) keeps holding under migration.
+        """
+        if ingredient_id in self._pool_set:
+            raise ModelError(
+                f"ingredient {ingredient_id} is already in the pool"
+            )
+        if ingredient_id not in self._position_of:
+            raise ModelError(
+                f"ingredient {ingredient_id} is not in this cuisine's universe"
+            )
+        row = self._remaining.index(ingredient_id)
+        self._remaining[row] = self._remaining[-1]
+        self._remaining.pop()
+        self._pool.append(ingredient_id)
+        self._pool_set.add(ingredient_id)
+        code = self._category_codes[self._position_of[ingredient_id]]
+        self._pool_by_code[code].append(ingredient_id)
+        self.trace.ingredients_added += 1
 
     def random_recipe_index(self) -> int:
         return int(self._rng.integers(0, len(self.recipes)))

@@ -100,12 +100,14 @@ from repro.runtime.integrity import (
     clear_cache_corruptions,
 )
 from repro.runtime.runner import (
+    ArchipelagoRequest,
     BackendDegradation,
     BackendDegradationWarning,
     BatchRequest,
     RunRequest,
     backend_degradations,
     clear_backend_degradations,
+    execute_archipelago,
     execute_batch,
     execute_request,
     execute_runs,
@@ -129,6 +131,7 @@ from repro.runtime.spool_tools import (
 )
 
 __all__ = [
+    "ArchipelagoRequest",
     "BACKENDS",
     "BackendDegradation",
     "BackendDegradationWarning",
@@ -175,6 +178,7 @@ __all__ = [
     "clear_task_attempts",
     "compact_spool",
     "curve_key",
+    "execute_archipelago",
     "execute_batch",
     "execute_request",
     "execute_runs",

@@ -60,7 +60,11 @@ __all__ = [
 #: ``BATCHED_STREAM_VERSION``), ``ENGINES`` grew a third member, and
 #: CM-V gained a vectorized step — keys that previously resolved to
 #: its reference engine now resolve to vectorized (DESIGN.md §7).
-CACHE_FORMAT_VERSION = 3
+#: v4: the island engine landed (DESIGN.md §10) — the pickled payload
+#: layout changed (``EvolutionTraceCounters`` gained
+#: ``recipes_borrowed``), so pre-v4 entries would unpickle traces
+#: missing the attribute; they miss and re-run instead.
+CACHE_FORMAT_VERSION = 4
 
 
 def _canonical(value: object) -> object:

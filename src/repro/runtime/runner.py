@@ -46,12 +46,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.models.params import CuisineSpec
 
 __all__ = [
+    "ArchipelagoRequest",
     "BackendDegradation",
     "BackendDegradationWarning",
     "BatchRequest",
     "RunRequest",
     "backend_degradations",
     "clear_backend_degradations",
+    "execute_archipelago",
     "execute_batch",
     "execute_request",
     "execute_runs",
@@ -177,12 +179,37 @@ def _checkpointer_for(
     )
 
 
+def _is_island_member(model: "CulinaryEvolutionModel") -> bool:
+    """Duck-typed check for :class:`~repro.models.islands.IslandMemberModel`.
+
+    Kept attribute-based (like :func:`_group_signature`) so the runtime
+    never imports the models layer at module scope.
+    """
+    return (
+        getattr(model, "simulation", None) is not None
+        and getattr(model, "member_index", None) is not None
+    )
+
+
 def execute_request(request: RunRequest) -> "EvolutionRun":
-    """Execute one run (module-level so the process backend can pickle it)."""
+    """Execute one run (module-level so the process backend can pickle it).
+
+    Regular models receive their seed through the usual
+    :func:`repro.rng.rng_from_seed` boundary.  Island members receive
+    the raw integer instead: their request seed *is* the archipelago
+    master seed (:func:`repro.models.islands.island_seed_streams`), so
+    a dispatched member run stays bit-identical to a direct
+    ``member.run(spec, seed=master)`` call with the same integer.
+    """
     checkpointer = _checkpointer_for(request)
+    seed = (
+        request.seed
+        if _is_island_member(request.model)
+        else rng_from_seed(request.seed)
+    )
     run = request.model.run(
         request.spec,
-        seed=rng_from_seed(request.seed),
+        seed=seed,
         record_history=request.record_history,
         engine=request.engine,
         checkpointer=checkpointer,
@@ -248,45 +275,131 @@ def execute_batch(batch: BatchRequest) -> list["EvolutionRun"]:
     return runs
 
 
+@dataclass(frozen=True)
+class ArchipelagoRequest:
+    """A same-(simulation, seed) group of island members, run once.
+
+    The island engine's unit of work (DESIGN.md §10): every member of
+    an :class:`~repro.models.islands.IslandSimulation` is an
+    independently cacheable run, but they are all produced by *one*
+    archipelago execution for a given master seed.  The dispatcher
+    folds consecutive same-simulation same-seed member requests into
+    this item so the simulation runs once, not once per member.  Like
+    the other work items it is a pure, picklable payload.
+
+    Attributes:
+        simulation: The archipelago to execute.
+        members: Member indices to return, in request order.
+        seed: The integer master seed shared by the group.
+        record_history: Forwarded to the simulation.
+        checkpoint: Accepted for dispatch-policy compatibility and
+            ignored — the scalar archipelago loop does not snapshot.
+    """
+
+    simulation: "object"
+    members: tuple[int, ...]
+    seed: int
+    record_history: bool = False
+    checkpoint: CheckpointPolicy | None = None
+
+
+def execute_archipelago(request: ArchipelagoRequest) -> list["EvolutionRun"]:
+    """Execute one archipelago, returning the requested members' runs.
+
+    Module-level so the process backend can pickle it.  The raw integer
+    master seed passes straight through — the same seed a solo
+    :func:`execute_request` hands an island member and a direct
+    ``IslandSimulation.run(seed=master)`` uses — so grouped, solo and
+    direct member runs are all bit-identical.
+    """
+    # Islands do not checkpoint; consume any armed kill_at_step fault
+    # so it cannot leak into a later task on this worker.
+    consume_armed_kill()
+    return request.simulation.run_members(
+        list(request.members),
+        seed=request.seed,
+        record_history=request.record_history,
+    )
+
+
 def _execute_work(
-    item: "RunRequest | BatchRequest",
+    item: "RunRequest | BatchRequest | ArchipelagoRequest",
 ) -> list["EvolutionRun"]:
-    """Execute one work item — single run or batch — as a run list.
+    """Execute one work item — single run, batch or archipelago — as a
+    run list.
 
     The uniform shape lets one order-preserving ``executor.map`` carry
-    a mixed sequence of singles and batches; the caller flattens.
+    a mixed sequence of singles and groups; the caller flattens.
     """
     if isinstance(item, BatchRequest):
         return execute_batch(item)
+    if isinstance(item, ArchipelagoRequest):
+        return execute_archipelago(item)
     return [execute_request(item)]
+
+
+def _group_signature(request: RunRequest) -> tuple | None:
+    """The adjacency-grouping key for one pending request, if any.
+
+    Two kinds of request fold into group work items:
+
+    * island members (duck-typed on the ``simulation``/``member_index``
+      attributes of :class:`~repro.models.islands.IslandMemberModel`)
+      group by (simulation identity, master seed, history flag) — every
+      member of one archipelago execution;
+    * batched-resolving requests group by (model identity, spec
+      identity, history flag, engine override) — one same-cell stacked
+      pass (DESIGN.md §7).
+    """
+    if _is_island_member(request.model):
+        return ("islands", id(request.model.simulation), request.seed,
+                request.record_history)
+    if request.model.resolve_engine(request.engine) == "batched":
+        return ("batched", id(request.model), id(request.spec),
+                request.record_history, request.engine)
+    return None
 
 
 def _plan_work(
     requests: Sequence[RunRequest], pending: Sequence[int]
-) -> list["RunRequest | BatchRequest"]:
-    """Group adjacent batched-resolving misses into :class:`BatchRequest`s.
+) -> list["RunRequest | BatchRequest | ArchipelagoRequest"]:
+    """Group adjacent groupable misses into batch/archipelago items.
 
     Walks the pending indices in dispatch order and folds consecutive
-    requests that share the same model and spec *instances*, history
-    flag and engine override — and whose engine resolves to
-    ``"batched"`` — into one batch.  Everything else (other engines,
-    models the batched engine cannot stack, singleton groups) stays a
-    plain per-run request.  Identity-based grouping is deliberately
-    conservative: :func:`execute_runs` and the sweep layer build each
-    cell's requests from one model/spec object, so same-cell groups
-    always form, while equal-but-distinct configurations never
+    requests sharing a :func:`_group_signature` into one work item:
+    batched-resolving same-cell runs become a :class:`BatchRequest`
+    (one stacked pass), island members of the same simulation and
+    master seed become an :class:`ArchipelagoRequest` (one archipelago
+    execution).  Everything else (other engines, singleton groups)
+    stays a plain per-run request.  Identity-based grouping is
+    deliberately conservative: :func:`execute_runs`, the sweep layer
+    and :func:`~repro.models.islands.run_island_ensemble` build their
+    requests from shared objects in grouping order, so groups always
+    form there, while equal-but-distinct configurations never
     accidentally merge.
     """
-    work: list["RunRequest | BatchRequest"] = []
+    work: list["RunRequest | BatchRequest | ArchipelagoRequest"] = []
     group: list[RunRequest] = []
+    group_signature: tuple | None = None
 
     def flush() -> None:
         if not group:
             return
+        first = group[0]
         if len(group) == 1:
-            work.append(group[0])
+            work.append(first)
+        elif group_signature is not None and group_signature[0] == "islands":
+            work.append(
+                ArchipelagoRequest(
+                    simulation=first.model.simulation,
+                    members=tuple(
+                        request.model.member_index for request in group
+                    ),
+                    seed=first.seed,
+                    record_history=first.record_history,
+                )
+            )
         else:
-            first = group[0]
             work.append(
                 BatchRequest(
                     model=first.model,
@@ -298,21 +411,12 @@ def _plan_work(
             )
         group.clear()
 
-    current_signature: tuple | None = None
     for index in pending:
         request = requests[index]
-        if request.model.resolve_engine(request.engine) == "batched":
-            signature = (
-                id(request.model),
-                id(request.spec),
-                request.record_history,
-                request.engine,
-            )
-        else:
-            signature = None
-        if signature != current_signature or signature is None:
+        signature = _group_signature(request)
+        if signature is None or signature != group_signature:
             flush()
-            current_signature = signature
+            group_signature = signature
         if signature is None:
             work.append(request)
         else:
@@ -333,7 +437,7 @@ class _CacheThroughWork:
     finished, even if the coordinator never saw it.
     """
 
-    item: "RunRequest | BatchRequest"
+    item: "RunRequest | BatchRequest | ArchipelagoRequest"
     cache_dir: str
     keys: tuple[str, ...]
 
@@ -361,7 +465,7 @@ def _execute_work_write_through(
 
 
 def _plan_write_through(
-    work: Sequence["RunRequest | BatchRequest"],
+    work: Sequence["RunRequest | BatchRequest | ArchipelagoRequest"],
     keys: Sequence[str],
     pending: Sequence[int],
     cache_dir: str,
@@ -370,7 +474,12 @@ def _plan_write_through(
     wrapped: list[_CacheThroughWork] = []
     cursor = 0
     for item in work:
-        count = len(item.seeds) if isinstance(item, BatchRequest) else 1
+        if isinstance(item, BatchRequest):
+            count = len(item.seeds)
+        elif isinstance(item, ArchipelagoRequest):
+            count = len(item.members)
+        else:
+            count = 1
         wrapped.append(
             _CacheThroughWork(
                 item=item,

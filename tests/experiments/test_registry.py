@@ -17,7 +17,7 @@ def test_design_md_experiment_index_covered():
     expected = {
         "table1", "fig1", "fig2", "fig3", "fig4", "fig4_categories",
         "ablation_m", "ablation_M", "ablation_minsup", "ablation_metric",
-        "ablation_null_sampling",
+        "ablation_null_sampling", "islands", "non_equilibrium",
     }
     assert set(available_experiments()) == expected
     assert set(EXPERIMENTS) == expected
