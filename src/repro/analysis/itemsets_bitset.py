@@ -39,7 +39,7 @@ from repro.analysis.itemsets import (
 )
 from repro.errors import MiningError
 
-__all__ = ["bitset_eclat", "POPCOUNT_TABLE"]
+__all__ = ["bitset_eclat", "mine_packed", "POPCOUNT_TABLE"]
 
 #: Bits set per byte value — the popcount primitive.  Indexing a packed
 #: row through this table and summing gives the row's support without
@@ -111,6 +111,27 @@ def bitset_eclat(
     packed = np.packbits(mask, axis=1)
     supports = item_counts[frequent].astype(np.int64)
 
+    return _mine_over_matrix(
+        frequent_items, packed, supports, n, min_count, min_support, max_size
+    )
+
+
+def _mine_over_matrix(
+    frequent_items: list[int],
+    packed: np.ndarray,
+    supports: np.ndarray,
+    n: int,
+    min_count: int,
+    min_support: float,
+    max_size: int | None,
+) -> MiningResult:
+    """The depth-first extension over an already-frequent packed matrix.
+
+    Shared by :func:`bitset_eclat` (which packs in memory) and
+    :func:`mine_packed` (which reads stored planes): same search tree,
+    same pruning, same rank order — so both entry points return
+    identical results for identical transaction content.
+    """
     found: dict[tuple[int, ...], int] = {}
 
     def extend(
@@ -146,6 +167,80 @@ def bitset_eclat(
 
     extend((), frequent_items, packed, supports)
     return _sorted_result(found, n, min_support, "bitset")
+
+
+#: Rows processed per block when computing supports over a stored
+#: matrix — bounds the int64 popcount intermediate, not the matrix.
+_ROW_BLOCK = 256
+
+
+def mine_packed(
+    matrix: np.ndarray,
+    item_ids: np.ndarray,
+    n_transactions: int,
+    min_support: float,
+    max_size: int | None = None,
+) -> MiningResult:
+    """Mine a stored packed-bit transaction matrix zero-copy.
+
+    The columnar store's ``bits:<code>`` planes are exactly the matrix
+    :func:`bitset_eclat` builds internally — row = item, bit =
+    transaction, ``np.packbits`` layout — so a memory-mapped plane can
+    be mined without round-tripping through ``Recipe`` objects or
+    frozensets.  Supports are popcounted block-wise straight off the
+    mapping; only the frequent rows (typically a small fraction at the
+    paper's thresholds) are copied into memory for the depth-first
+    extension.
+
+    Args:
+        matrix: ``(len(item_ids), ceil(n_transactions / 8))`` uint8
+            packed membership bits (may be a ``np.memmap`` view); bits
+            past ``n_transactions`` must be zero.
+        item_ids: Ascending item id per matrix row.
+        n_transactions: Number of transactions the bits encode.
+        min_support: Relative support threshold in ``(0, 1]``.
+        max_size: Optional cap on itemset size.
+
+    Returns:
+        A result bit-identical to any registered miner over the same
+        transactions (``algorithm`` reads ``"bitset"``).
+    """
+    matrix = np.asarray(matrix)
+    item_ids = np.asarray(item_ids)
+    if matrix.ndim != 2 or matrix.dtype != np.uint8:
+        raise MiningError(
+            f"packed matrix must be 2-D uint8, got {matrix.dtype} "
+            f"ndim={matrix.ndim}"
+        )
+    if matrix.shape[0] != item_ids.size:
+        raise MiningError(
+            f"{matrix.shape[0]} matrix rows vs {item_ids.size} item ids"
+        )
+    if item_ids.size > 1 and not (np.diff(item_ids) > 0).all():
+        raise MiningError("item_ids must be strictly ascending")
+    n = int(n_transactions)
+    if n == 0:
+        return MiningResult((), 0, min_support, "bitset")
+    min_count = _min_count(min_support, n)
+
+    supports = np.empty(matrix.shape[0], dtype=np.int64)
+    for start in range(0, matrix.shape[0], _ROW_BLOCK):
+        block = matrix[start:start + _ROW_BLOCK]
+        supports[start:start + _ROW_BLOCK] = POPCOUNT_TABLE[block].sum(axis=1)
+    frequent = supports >= min_count
+    if not frequent.any():
+        return MiningResult((), n, min_support, "bitset")
+    frequent_items = [int(item) for item in item_ids[frequent]]
+    packed = np.ascontiguousarray(matrix[frequent])
+    return _mine_over_matrix(
+        frequent_items,
+        packed,
+        supports[frequent],
+        n,
+        min_count,
+        min_support,
+        max_size,
+    )
 
 
 register_algorithm("bitset", bitset_eclat)

@@ -2,8 +2,15 @@
 
 Subcommands::
 
-    repro generate    — write a calibrated synthetic corpus to JSONL
-    repro stats       — print corpus statistics (Sec. II numbers)
+    repro generate    — write a calibrated synthetic corpus to JSONL, or
+                        stream it to a memory-mapped columnar container
+                        (``--format columnar``) at scales no eager
+                        loader should hold
+    repro stats       — print corpus statistics (Sec. II numbers) from a
+                        JSONL corpus or a packed ``.col`` container
+    repro corpus      — pack a JSONL/pickle corpus into the columnar
+                        container (`pack`), or report a container's
+                        plane layout and disk footprint (`stats`)
     repro experiment  — run a paper experiment and print its report
     repro evolve      — run one evolution model on one cuisine
     repro resolve     — resolve raw ingredient mentions via the lexicon
@@ -49,8 +56,13 @@ from repro.analysis.invariants import combination_curve
 from repro.analysis.itemsets import available_algorithms
 from repro.analysis.mae import curve_distance
 from repro.config import MiningConfig
-from repro.corpus.io import load_jsonl, save_jsonl
+from repro.corpus.io import load_jsonl, load_pickle, save_jsonl
 from repro.corpus.stats import corpus_stats
+from repro.storage.columnar import (
+    COLUMNAR_SUFFIX,
+    ColumnarCorpus,
+    pack_dataset,
+)
 from repro.experiments.base import ExperimentContext
 from repro.experiments.registry import available_experiments, run_experiment
 from repro.lexicon.builder import standard_lexicon
@@ -183,15 +195,78 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     generate = sub.add_parser("generate", help="generate a synthetic corpus")
-    generate.add_argument("output", type=Path, help="output JSONL path")
+    generate.add_argument(
+        "output", type=Path, help="output path (JSONL, or .col container)"
+    )
     generate.add_argument("--scale", type=float, default=0.1)
     generate.add_argument("--seed", type=int, default=DEFAULT_SEED)
     generate.add_argument(
         "--regions", nargs="*", default=None, help="region codes (default all)"
     )
+    generate.add_argument(
+        "--format", choices=("jsonl", "columnar"), default="jsonl",
+        help=(
+            "output format: jsonl (eager, text) or columnar (streamed "
+            "chunk-wise to a memory-mapped .col container — the only "
+            "path that holds at 100x-1000x paper scale)"
+        ),
+    )
+    generate.add_argument(
+        "--chunk-size", type=int, default=100_000,
+        help=(
+            "columnar: recipes generated and flushed per chunk — the "
+            "memory bound (default: 100000)"
+        ),
+    )
+    generate.add_argument(
+        "--no-bitplanes", action="store_true",
+        help="columnar: skip per-cuisine packed-bit mining planes",
+    )
+    generate.add_argument(
+        "--no-text", action="store_true",
+        help="columnar: drop procedural titles (smaller container)",
+    )
 
     stats = sub.add_parser("stats", help="print corpus statistics")
-    stats.add_argument("dataset", type=Path, help="JSONL corpus path")
+    stats.add_argument(
+        "dataset", type=Path, help="JSONL corpus path or .col container"
+    )
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="pack a corpus into the columnar container, or inspect one",
+        description=(
+            "`pack` converts an existing JSONL (or pickle) corpus into "
+            "the memory-mapped columnar container of DESIGN.md §11 — "
+            "CSR ingredient planes, per-cuisine slices, optional "
+            "packed-bit mining planes — written atomically with "
+            "checksummed planes.  `stats` prints a packed container's "
+            "corpus summary plus its per-plane disk footprint, in the "
+            "same telemetry shape as `repro cache stats` and "
+            "`repro spool stats`."
+        ),
+    )
+    corpus.add_argument("action", choices=("pack", "stats"))
+    corpus.add_argument(
+        "path", type=Path,
+        help="pack: input corpus (.jsonl/.pkl); stats: the .col container",
+    )
+    corpus.add_argument(
+        "output", type=Path, nargs="?", default=None,
+        help="pack: output container path (default: input with .col)",
+    )
+    corpus.add_argument(
+        "--no-bitplanes", action="store_true",
+        help="pack: skip per-cuisine packed-bit mining planes",
+    )
+    corpus.add_argument(
+        "--no-text", action="store_true",
+        help="pack: drop titles/sources from the container",
+    )
+    corpus.add_argument(
+        "--verify", action="store_true",
+        help="stats: recompute and check every plane's SHA-256",
+    )
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument(
@@ -204,6 +279,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--regions", nargs="*", default=None)
     experiment.add_argument("--artifacts", type=Path, default=None,
                             help="directory for CSV/JSON artifacts")
+    experiment.add_argument(
+        "--corpus", type=Path, default=None,
+        help=(
+            "run over a packed columnar corpus (.col) instead of "
+            "generating one; --scale then only labels the context"
+        ),
+    )
     _add_mining_flags(experiment)
     _add_runtime_flags(experiment)
 
@@ -253,6 +335,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=DEFAULT_SEED)
     sweep.add_argument("--runs", type=int, default=8,
                        help="model runs per (model, cuisine) cell")
+    sweep.add_argument(
+        "--corpus", type=Path, default=None,
+        help=(
+            "sweep over a packed columnar corpus (.col) instead of "
+            "generating one; --scale then only labels the context"
+        ),
+    )
     sweep.add_argument(
         "--mine", action="store_true",
         help=(
@@ -365,6 +454,22 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     lexicon = standard_lexicon()
     kitchen = WorldKitchen(lexicon, seed=args.seed)
     regions = tuple(args.regions) if args.regions else None
+    if args.format == "columnar":
+        with kitchen.generate_columnar(
+            args.output,
+            region_codes=regions,
+            scale=args.scale,
+            chunk_recipes=args.chunk_size,
+            store_text=not args.no_text,
+            bitplanes=not args.no_bitplanes,
+        ) as corpus:
+            count = corpus.n_recipes
+            size = corpus.disk_stats().total_bytes
+        print(
+            f"wrote {count} recipes to {args.output} "
+            f"({_format_bytes(size)}, columnar)"
+        )
+        return 0
     dataset = kitchen.generate_dataset(region_codes=regions, scale=args.scale)
     count = save_jsonl(dataset, args.output)
     print(f"wrote {count} recipes to {args.output}")
@@ -372,8 +477,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    dataset = load_jsonl(args.dataset)
-    stats = corpus_stats(dataset)
+    if args.dataset.suffix == COLUMNAR_SUFFIX:
+        with ColumnarCorpus.open(args.dataset) as corpus:
+            stats = corpus.stats()
+    else:
+        dataset = load_jsonl(args.dataset)
+        stats = corpus_stats(dataset)
     rows = [
         (s.region_code, s.n_recipes, s.n_ingredients,
          f"{s.avg_recipe_size:.2f}", f"{s.phi:.4f}")
@@ -393,6 +502,52 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    if args.action == "pack":
+        output = args.output
+        if output is None:
+            output = args.path.with_suffix(COLUMNAR_SUFFIX)
+        loader = load_pickle if args.path.suffix == ".pkl" else load_jsonl
+        dataset = loader(args.path)
+        with pack_dataset(
+            dataset,
+            output,
+            store_text=not args.no_text,
+            bitplanes=not args.no_bitplanes,
+        ) as corpus:
+            disk = corpus.disk_stats()
+        print(
+            f"packed {disk.n_recipes} recipes into {output} "
+            f"({_format_bytes(disk.total_bytes)}, {disk.n_planes} planes)"
+        )
+        return 0
+    with ColumnarCorpus.open(args.path, verify=args.verify) as corpus:
+        stats = corpus.stats()
+        disk = corpus.disk_stats()
+    rows: list[tuple[str, str, str]] = [
+        ("corpus", "recipes", str(stats.n_recipes)),
+        ("corpus", "cuisines", str(stats.n_cuisines)),
+        ("corpus", "mean recipe size", f"{stats.mean_recipe_size:.2f}"),
+        ("corpus", "total size", _format_bytes(disk.total_bytes)),
+        ("corpus", "planes", str(disk.n_planes)),
+    ]
+    for plane in disk.planes:
+        shape = "x".join(str(dim) for dim in plane.shape)
+        rows.append(
+            (
+                "plane",
+                f"{plane.name} [{plane.dtype} {shape}]",
+                _format_bytes(plane.nbytes),
+            )
+        )
+    verified = " (planes verified)" if args.verify else ""
+    print(render_table(
+        ("Store", "Quantity", "Value"), rows,
+        title=f"Columnar corpus {args.path}{verified}",
+    ))
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     context = ExperimentContext.create(
         scale=args.scale,
@@ -403,6 +558,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         artifacts_dir=args.artifacts,
         runtime=_runtime_from_args(args),
         engine=args.engine,
+        corpus_path=args.corpus,
     )
     result = run_experiment(args.id, context)
     print(result.render())
@@ -507,6 +663,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ensemble_runs=args.runs,
         runtime=runtime,
         engine=args.engine,
+        corpus_path=args.corpus,
     )
     # Plan in corpus order (sorted), NOT the command-line order: it is
     # the order run_fig4/build_report walk the grid, so the per-cell
@@ -668,6 +825,21 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 label, "newest entry",
                 f"{_format_age(now - stats.newest_mtime)} ago",
             ))
+    # Packed corpora share operator directories with caches; surface
+    # their footprint in the same telemetry table so corpus, cache and
+    # spool accounting read consistently (`repro corpus stats` has the
+    # per-plane drill-down).
+    corpora = sorted(directory.glob(f"*{COLUMNAR_SUFFIX}"))
+    if corpora:
+        rows.append(("corpora", "entries", str(len(corpora))))
+        rows.append((
+            "corpora", "total size",
+            _format_bytes(sum(path.stat().st_size for path in corpora)),
+        ))
+        for path in corpora:
+            rows.append((
+                "corpora", path.name, _format_bytes(path.stat().st_size)
+            ))
     print(render_table(
         ("Store", "Quantity", "Value"), rows, title=f"Cache {directory}"
     ))
@@ -738,6 +910,7 @@ def _cmd_spool(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
+    "corpus": _cmd_corpus,
     "experiment": _cmd_experiment,
     "evolve": _cmd_evolve,
     "resolve": _cmd_resolve,

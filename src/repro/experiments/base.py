@@ -89,6 +89,7 @@ class ExperimentContext:
         lexicon: Lexicon | None = None,
         runtime: RuntimeConfig | None = None,
         engine: str | None = None,
+        corpus_path: str | Path | None = None,
     ) -> "ExperimentContext":
         """Build a context with a freshly generated corpus.
 
@@ -105,6 +106,13 @@ class ExperimentContext:
             engine: Simulation engine for model runs —
                 ``"reference"``, ``"vectorized"`` or ``"batched"``
                 (default: each model's own, i.e. vectorized).
+            corpus_path: Open a packed columnar corpus (DESIGN.md §11)
+                instead of generating one; ``scale``/``seed``/
+                ``region_codes`` then do not shape the corpus (seed
+                still drives model runs).  The experiments' model
+                calibration needs object views, so the corpus is
+                materialized here — packing wins by making worldgen a
+                one-time cost, not by keeping experiments zero-copy.
         """
         if scale <= 0:
             raise ExperimentError(f"scale must be > 0, got {scale}")
@@ -113,8 +121,18 @@ class ExperimentContext:
                 f"ensemble_runs must be >= 1, got {ensemble_runs}"
             )
         lex = lexicon if lexicon is not None else standard_lexicon()
-        kitchen = WorldKitchen(lex, seed=seed)
-        dataset = kitchen.generate_dataset(region_codes=region_codes, scale=scale)
+        if corpus_path is not None:
+            from repro.storage.columnar import ColumnarCorpus
+
+            with ColumnarCorpus.open(corpus_path) as corpus:
+                dataset = corpus.to_dataset()
+            if region_codes is not None:
+                dataset = dataset.subset(region_codes)
+        else:
+            kitchen = WorldKitchen(lex, seed=seed)
+            dataset = kitchen.generate_dataset(
+                region_codes=region_codes, scale=scale
+            )
         return cls(
             lexicon=lex,
             dataset=dataset,

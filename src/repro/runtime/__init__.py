@@ -69,6 +69,7 @@ from repro.runtime.checkpoint import (
 )
 from repro.runtime.config import BACKENDS, DistributedConfig, RuntimeConfig
 from repro.runtime.curve_cache import (
+    fingerprint_planes,
     CURVE_FORMAT_VERSION,
     CurveCache,
     curve_key,
@@ -184,6 +185,7 @@ __all__ = [
     "execute_runs",
     "execute_sweep",
     "fingerprint_many",
+    "fingerprint_planes",
     "get_executor",
     "parallel_map",
     "plan_cells",

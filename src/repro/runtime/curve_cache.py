@@ -45,6 +45,7 @@ __all__ = [
     "CURVE_FORMAT_VERSION",
     "CurveCache",
     "curve_key",
+    "fingerprint_planes",
     "transactions_fingerprint",
 ]
 
@@ -107,9 +108,32 @@ def transactions_fingerprint(
         encoded = [sorted(transaction) for transaction in data]
         hasher.update(json.dumps(encoded, separators=(",", ":")).encode())
         return hasher.hexdigest()
+    return fingerprint_planes(lengths, flat)
+
+
+def fingerprint_planes(lengths: np.ndarray, flat: np.ndarray) -> str:
+    """:func:`transactions_fingerprint` computed from CSR-shaped planes.
+
+    The digest core shared by the object path above and the columnar
+    store: ``lengths`` holds each transaction's item count, ``flat``
+    the concatenated items in transaction order.  Because the
+    per-transaction digest is a *sum* of scrambled items, within-
+    transaction ordering cannot leak in — so a columnar corpus's
+    (sorted) CSR planes fingerprint identically to the frozensets the
+    object path iterates, and one warm
+    :class:`CurveCache` serves both paths.
+
+    Args:
+        lengths: ``(n,)`` per-transaction item counts, int64-compatible.
+        flat: Concatenated items (each transaction duplicate-free),
+            int64-compatible, ``flat.size == lengths.sum()``.
+    """
+    lengths = np.ascontiguousarray(lengths, dtype="<i8")
+    flat = np.ascontiguousarray(flat, dtype="<i8")
+    hasher = hashlib.sha256()
     with np.errstate(over="ignore"):
         mixed = _mix64(flat.view("<u8"))
-        sums = np.zeros(len(data), dtype="<u8")
+        sums = np.zeros(lengths.size, dtype="<u8")
         nonzero = lengths > 0
         if flat.size:
             # Consecutive nonzero segment starts delimit exactly the

@@ -1,6 +1,22 @@
-"""Indexed recipe storage: inverted indexes, stores and conjunctive queries."""
+"""Indexed recipe storage: inverted indexes, stores, conjunctive queries
+and the memory-mapped columnar corpus container (DESIGN.md §11)."""
 
-from repro.storage.inverted_index import InvertedIndex, intersect_postings
+from repro.storage.columnar import (
+    COLUMNAR_FORMAT_VERSION,
+    COLUMNAR_SUFFIX,
+    ColumnarCorpus,
+    ColumnarDiskStats,
+    ColumnarRecipeStore,
+    ColumnarWriter,
+    PackedTransactions,
+    PlaneStats,
+    pack_dataset,
+)
+from repro.storage.inverted_index import (
+    InvertedIndex,
+    intersect_pair,
+    intersect_postings,
+)
 from repro.storage.query import (
     Clause,
     HasCategory,
@@ -11,7 +27,17 @@ from repro.storage.query import (
 from repro.storage.store import RecipeStore
 
 __all__ = [
+    "COLUMNAR_FORMAT_VERSION",
+    "COLUMNAR_SUFFIX",
+    "ColumnarCorpus",
+    "ColumnarDiskStats",
+    "ColumnarRecipeStore",
+    "ColumnarWriter",
+    "PackedTransactions",
+    "PlaneStats",
+    "pack_dataset",
     "InvertedIndex",
+    "intersect_pair",
     "intersect_postings",
     "Clause",
     "HasCategory",

@@ -8,7 +8,10 @@ once per dataset and shared by the analysis modules.
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Iterable
+
+import numpy as np
 
 from repro.corpus.dataset import CuisineView, RecipeDataset
 from repro.errors import StorageError
@@ -31,14 +34,26 @@ class RecipeStore:
     def __init__(self, dataset: RecipeDataset, lexicon: Lexicon):
         self._dataset = dataset
         self._lexicon = lexicon
-        known = set(lexicon.ids)
-        for recipe in dataset:
-            unknown = [i for i in recipe.ingredient_ids if i not in known]
-            if unknown:
-                raise StorageError(
-                    f"recipe {recipe.recipe_id} references ids not in the "
-                    f"lexicon: {unknown[:5]}"
-                )
+        # One np.isin over the concatenated id plane instead of a
+        # per-recipe Python loop — the membership check is O(total ids)
+        # array work, and the loop below only runs to name the first
+        # offender once a violation is already known to exist.
+        known = np.fromiter(lexicon.ids, dtype=np.int64, count=len(lexicon.ids))
+        flat = np.fromiter(
+            chain.from_iterable(r.ingredient_ids for r in dataset),
+            dtype=np.int64,
+        )
+        if flat.size and not np.isin(flat, known).all():
+            known_set = set(lexicon.ids)
+            for recipe in dataset:
+                unknown = [
+                    i for i in recipe.ingredient_ids if i not in known_set
+                ]
+                if unknown:
+                    raise StorageError(
+                        f"recipe {recipe.recipe_id} references ids not in "
+                        f"the lexicon: {unknown[:5]}"
+                    )
         self._global_index = InvertedIndex(dataset.recipes)
         self._cuisine_indexes: dict[str, InvertedIndex] = {
             code: InvertedIndex(view.recipes)
@@ -92,7 +107,7 @@ class RecipeStore:
             region_code: Restrict to one cuisine; ``None`` = whole corpus.
         """
         index = (
-            self._global_index
+            self.global_index
             if region_code is None
             else self.cuisine_index(region_code)
         )
@@ -103,7 +118,7 @@ class RecipeStore:
     ) -> float:
         """Support as a fraction of the (cuisine's) recipe count."""
         index = (
-            self._global_index
+            self.global_index
             if region_code is None
             else self.cuisine_index(region_code)
         )
@@ -152,7 +167,7 @@ class RecipeStore:
             other ingredient id -> number of recipes containing both.
         """
         index = (
-            self._global_index
+            self.global_index
             if region_code is None
             else self.cuisine_index(region_code)
         )

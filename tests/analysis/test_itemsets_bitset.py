@@ -142,3 +142,73 @@ def test_unknown_algorithm_lists_bitset():
     with pytest.raises(MiningError) as excinfo:
         mine_frequent_itemsets([{1}], 0.5, "no-such-miner")
     assert "bitset" in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------------
+# mine_packed: mining directly over the packed-bit layout
+# ---------------------------------------------------------------------------
+
+
+def _pack(transactions):
+    import numpy as np
+
+    universe = sorted({item for t in transactions for item in t})
+    dense = np.zeros((len(universe), len(transactions)), dtype=np.uint8)
+    position = {item: row for row, item in enumerate(universe)}
+    for column, transaction in enumerate(transactions):
+        for item in transaction:
+            dense[position[item], column] = 1
+    return (
+        np.packbits(dense, axis=1),
+        np.asarray(universe, dtype=np.int64),
+        len(transactions),
+    )
+
+
+def test_mine_packed_matches_bitset_eclat():
+    from repro.analysis.itemsets_bitset import mine_packed
+
+    rng = random.Random(5)
+    transactions = [
+        frozenset(rng.sample(range(20), rng.randint(2, 8))) for _ in range(60)
+    ]
+    matrix, item_ids, n = _pack(transactions)
+    packed = mine_packed(matrix, item_ids, n, min_support=0.1)
+    reference = bitset_eclat(transactions, min_support=0.1)
+    assert packed.itemsets == reference.itemsets
+    assert packed.n_transactions == reference.n_transactions
+
+
+def test_mine_packed_respects_max_size():
+    from repro.analysis.itemsets_bitset import mine_packed
+
+    transactions = [frozenset({1, 2, 3, 4})] * 10
+    matrix, item_ids, n = _pack(transactions)
+    result = mine_packed(matrix, item_ids, n, min_support=0.5, max_size=2)
+    assert max(itemset.size for itemset in result.itemsets) == 2
+
+
+def test_mine_packed_validates_inputs():
+    import numpy as np
+
+    from repro.analysis.itemsets_bitset import mine_packed
+
+    matrix = np.zeros((2, 1), dtype=np.uint8)
+    with pytest.raises(MiningError):  # descending item ids
+        mine_packed(matrix, np.array([5, 3]), 4, min_support=0.5)
+    with pytest.raises(MiningError):  # row/id count mismatch
+        mine_packed(matrix, np.array([1]), 4, min_support=0.5)
+    with pytest.raises(MiningError):  # not uint8
+        mine_packed(matrix.astype(np.int32), np.array([1, 2]), 4, 0.5)
+
+
+def test_mine_packed_empty():
+    import numpy as np
+
+    from repro.analysis.itemsets_bitset import mine_packed
+
+    result = mine_packed(
+        np.zeros((0, 0), dtype=np.uint8), np.array([], dtype=np.int64),
+        0, min_support=0.5,
+    )
+    assert result.itemsets == ()

@@ -8,7 +8,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.corpus.recipe import Recipe
-from repro.storage.inverted_index import InvertedIndex, intersect_postings
+from repro.storage.inverted_index import (
+    InvertedIndex,
+    intersect_pair,
+    intersect_postings,
+)
 
 
 @pytest.fixture()
@@ -105,3 +109,58 @@ def test_document_frequency_matches_bruteforce(recipes):
             if ingredient_id in recipe.ingredient_ids
         )
         assert index.document_frequency(ingredient_id) == expected
+
+
+# ---------------------------------------------------------------------------
+# intersect_pair strategy equivalence (galloping vs sort-based)
+# ---------------------------------------------------------------------------
+
+
+def _sorted_unique(values) -> np.ndarray:
+    return np.unique(np.asarray(list(values), dtype=np.int64))
+
+
+def test_intersect_pair_gallop_branch():
+    # |small|=2 against |other|=1000 takes the searchsorted branch.
+    small = _sorted_unique([5, 999])
+    other = np.arange(1000, dtype=np.int64)
+    result = intersect_pair(small, other)
+    assert result.tolist() == [5, 999]
+
+
+def test_intersect_pair_sort_branch():
+    # Comparable sizes take the np.isin branch.
+    small = _sorted_unique(range(0, 40, 2))
+    other = _sorted_unique(range(0, 40, 3))
+    result = intersect_pair(small, other)
+    assert result.tolist() == sorted(set(small.tolist()) & set(other.tolist()))
+
+
+def test_intersect_pair_gallop_miss_past_end():
+    # An element past other's end probes index 0 safely and never matches.
+    small = _sorted_unique([2000, 2001])
+    other = np.arange(1000, dtype=np.int64)
+    assert intersect_pair(small, other).size == 0
+
+
+def test_intersect_pair_empty_sides():
+    empty = np.array([], dtype=np.int64)
+    other = np.array([1, 2, 3], dtype=np.int64)
+    assert intersect_pair(empty, other).size == 0
+    assert intersect_pair(other, empty).size == 0
+
+
+@given(
+    st.sets(st.integers(0, 10_000), max_size=12),
+    st.sets(st.integers(0, 10_000), max_size=400),
+)
+@settings(max_examples=120, deadline=None)
+def test_intersect_pair_branches_agree(small_values, other_values):
+    """Both strategies must return the identical sorted intersection."""
+    small = _sorted_unique(small_values)
+    other = _sorted_unique(other_values)
+    expected = sorted(set(small.tolist()) & set(other.tolist()))
+    assert intersect_pair(small, other).tolist() == expected
+    # Force the sort-based reference explicitly for the same inputs.
+    reference = small[np.isin(small, other, assume_unique=True)]
+    assert reference.tolist() == expected

@@ -78,3 +78,21 @@ def test_top_cooccurring_order(store):
 
 def test_cooccurrence_unseen_ingredient(store):
     assert store.cooccurrence(999) == {}
+
+
+def test_unknown_id_error_names_recipe_and_ids(tiny_lexicon):
+    dataset = RecipeDataset([
+        Recipe(0, "ITA", (0, 1)),
+        Recipe(7, "KOR", (2, 404, 505)),
+    ])
+    with pytest.raises(StorageError) as info:
+        RecipeStore(dataset, tiny_lexicon)
+    message = str(info.value)
+    assert "recipe 7 references ids not in the lexicon" in message
+    assert "404" in message
+
+
+def test_validation_accepts_all_known_ids(tiny_dataset, tiny_lexicon):
+    # The vectorized np.isin check must accept a fully valid corpus.
+    store = RecipeStore(tiny_dataset, tiny_lexicon)
+    assert len(store.dataset) == len(tiny_dataset)
